@@ -1,0 +1,86 @@
+// Command dnhunter runs the real-time sniffer pipeline over a pcap file:
+// it decodes DNS responses into the resolver (the clients' cache replica),
+// reconstructs and tags flows, and writes the labeled flow database as CSV.
+//
+// Usage:
+//
+//	dnhunter -pcap trace.pcap -out flows.csv [-clist 1048576] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/flows"
+	"repro/internal/netio"
+	"repro/internal/resolver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnhunter: ")
+	pcapPath := flag.String("pcap", "", "input pcap file (required)")
+	outPath := flag.String("out", "flows.csv", "output CSV of labeled flows")
+	clist := flag.Int("clist", 1<<20, "resolver Clist size L")
+	history := flag.Int("history", 0, "multi-label history per (client,server) key")
+	showStats := flag.Bool("stats", true, "print pipeline statistics")
+	flag.Parse()
+	if *pcapPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in, err := os.Open(*pcapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	src, err := netio.NewReader(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	h := core.New(core.Config{
+		Resolver: resolver.Config{ClistSize: *clist, History: *history},
+	})
+	if err := h.Run(src); err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := os.Create(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := h.DB().WriteCSV(out); err != nil {
+		log.Fatal(err)
+	}
+
+	if *showStats {
+		st := h.Stats()
+		fmt.Printf("packets: %d frames (%d TCP, %d UDP, %d malformed)\n",
+			st.Parser.Frames, st.Parser.TCPSegments, st.Parser.UDPDatagram, st.Parser.Malformed)
+		fmt.Printf("dns: %d responses (%d empty, %d malformed), useless %.0f%%\n",
+			st.DNSResponses, st.DNSResponsesEmpty, st.DNSMalformed, 100*st.UselessDNSFraction())
+		fmt.Printf("resolver: %s\n", st.Resolver)
+		fmt.Printf("flows: %d total, %d labeled (%.1f%%)\n",
+			st.Flows, st.LabeledFlows, 100*float64(st.LabeledFlows)/float64(max64(st.Flows, 1)))
+		cov := h.DB().Coverage(0)
+		for _, p := range []flows.L7Proto{flows.L7HTTP, flows.L7TLS, flows.L7P2P, flows.L7Unknown} {
+			if cov.Total[p] > 0 {
+				fmt.Printf("  %-5s %6d flows, %5.1f%% labeled\n", p, cov.Total[p], 100*cov.Ratio(p))
+			}
+		}
+	}
+	fmt.Printf("wrote %s (%d flows)\n", *outPath, h.DB().Len())
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

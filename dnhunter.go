@@ -1,0 +1,170 @@
+// Package dnhunter is the public facade of the DN-Hunter reproduction
+// (Bermudez et al., "DNS to the Rescue: Discerning Content and Services in
+// a Tangled Web", ACM IMC 2012).
+//
+// DN-Hunter passively correlates sniffed DNS responses with subsequent
+// traffic flows, tagging every flow with the FQDN the client resolved —
+// before the flow's first payload byte, and regardless of encryption. The
+// library exposes:
+//
+//   - the real-time pipeline (packet source → DNS resolver → flow tagger),
+//   - the off-line analytics (spatial discovery, content discovery,
+//     service-tag extraction),
+//   - a synthetic ISP workload generator standing in for the paper's
+//     proprietary traces, and
+//   - the baselines the paper compares against (reverse DNS lookup, TLS
+//     certificate inspection).
+//
+// Quick start:
+//
+//	trace := dnhunter.GenerateTrace("EU1-FTTH", 0.2, 1)
+//	res := dnhunter.RunTrace(trace, dnhunter.Options{})
+//	fmt.Println(res.Stats.Resolver)           // hit ratio etc.
+//	for _, f := range res.DB.All()[:10] {
+//	    fmt.Println(f.Key, f.Label)
+//	}
+package dnhunter
+
+import (
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/flowdb"
+	"repro/internal/flows"
+	"repro/internal/netio"
+	"repro/internal/orgdb"
+	"repro/internal/resolver"
+	"repro/internal/synth"
+)
+
+// Re-exported types: the facade keeps downstream imports to one package.
+type (
+	// Pipeline is the assembled DN-Hunter instance.
+	Pipeline = core.DNHunter
+	// Config assembles a Pipeline.
+	Config = core.Config
+	// Stats aggregates pipeline counters.
+	Stats = core.Stats
+	// TagEvent fires at flow start with the assigned label.
+	TagEvent = core.TagEvent
+	// DNSEvent describes one sniffed DNS response.
+	DNSEvent = core.DNSEvent
+	// Policy is the FQDN-based rule engine for online enforcement.
+	Policy = core.Policy
+	// Rule is one policy rule.
+	Rule = core.Rule
+	// Action is a policy decision.
+	Action = core.Action
+	// LabeledFlow is one tagged flow record.
+	LabeledFlow = flowdb.LabeledFlow
+	// FlowDB is the labeled flows database.
+	FlowDB = flowdb.DB
+	// FlowKey identifies a flow client → server.
+	FlowKey = flows.Key
+	// ResolverConfig tunes the DNS cache replica (Clist size, map kind).
+	ResolverConfig = resolver.Config
+	// Trace is one synthetic capture with its sidecars.
+	Trace = synth.Trace
+	// Scenario parameterizes a synthetic capture.
+	Scenario = synth.Scenario
+	// OrgDB maps server addresses to organizations.
+	OrgDB = orgdb.DB
+)
+
+// Policy actions.
+const (
+	ActionAllow        = core.ActionAllow
+	ActionPrioritize   = core.ActionPrioritize
+	ActionDeprioritize = core.ActionDeprioritize
+	ActionRateLimit    = core.ActionRateLimit
+	ActionBlock        = core.ActionBlock
+)
+
+// NewPipeline assembles a DN-Hunter pipeline.
+func NewPipeline(cfg Config) *Pipeline { return core.New(cfg) }
+
+// NewPolicy builds an ordered policy rule set.
+func NewPolicy(rules ...Rule) *Policy { return core.NewPolicy(rules...) }
+
+// GenerateTrace synthesizes one of the paper's named captures ("US-3G",
+// "EU2-ADSL", "EU1-ADSL1", "EU1-ADSL2", "EU1-FTTH") at the given scale.
+func GenerateTrace(name string, scale float64, seed uint64) *Trace {
+	return synth.Generate(synth.NamedScenario(name, scale, seed))
+}
+
+// GenerateQuickTrace synthesizes a small trace for demos and tests.
+func GenerateQuickTrace(seed uint64) *Trace {
+	return synth.Generate(synth.QuickScenario(seed))
+}
+
+// ScenarioNames lists the five named captures in paper order.
+func ScenarioNames() []string { return append([]string(nil), synth.ScenarioNames...) }
+
+// Options tunes RunTrace.
+type Options struct {
+	// Resolver overrides the resolver configuration (defaults: 1M-entry
+	// Clist, hash maps).
+	Resolver ResolverConfig
+	// OnTag, when set, receives every flow-start tag event.
+	OnTag func(TagEvent)
+	// KeepDNSTimes collects DNS response timestamps into Result.DNSTimes
+	// (needed by the Fig. 14 experiment).
+	KeepDNSTimes bool
+}
+
+// Result is the outcome of running the pipeline over a trace.
+type Result struct {
+	DB       *FlowDB
+	Stats    Stats
+	DNSTimes []time.Duration
+	Trace    *Trace
+}
+
+// RunTrace replays a synthetic trace through the full pipeline (parser →
+// resolver → tagger) and returns the labeled flow database and statistics.
+func RunTrace(tr *Trace, opts Options) *Result {
+	res := &Result{Trace: tr}
+	cfg := Config{
+		Resolver: opts.Resolver,
+		OnTag:    opts.OnTag,
+		Truth:    tr.TruthFunc(),
+	}
+	if opts.KeepDNSTimes {
+		cfg.OnDNSResponse = func(e DNSEvent) { res.DNSTimes = append(res.DNSTimes, e.At) }
+	}
+	h := core.New(cfg)
+	if err := h.Run(tr.Source()); err != nil {
+		// SlicePacketSource never fails; a non-nil error indicates a
+		// programming bug worth surfacing loudly in experiments.
+		panic(err)
+	}
+	res.DB = h.DB()
+	res.Stats = h.Stats()
+	return res
+}
+
+// RunPcap runs the pipeline over any packet source (e.g. a netio.Reader
+// over a pcap file) and returns the database and stats.
+func RunPcap(src netio.PacketSource, cfg Config) (*FlowDB, Stats, error) {
+	h := core.New(cfg)
+	if err := h.Run(src); err != nil {
+		return nil, Stats{}, err
+	}
+	return h.DB(), h.Stats(), nil
+}
+
+// ExtractTags runs the paper's Algorithm 4 on a labeled flow database.
+func ExtractTags(db *FlowDB, port uint16, k int) []analytics.TagScore {
+	return analytics.ExtractTags(db, port, k)
+}
+
+// SpatialDiscovery runs Algorithm 2 for a domain name.
+func SpatialDiscovery(db *FlowDB, odb *OrgDB, name string) *analytics.SpatialResult {
+	return analytics.SpatialDiscovery(db, odb, name)
+}
+
+// ContentDiscovery runs Algorithm 3 over a hosting organization.
+func TopDomainsOnOrg(db *FlowDB, odb *OrgDB, org string, k int) []analytics.ContentShare {
+	return analytics.TopDomainsOnOrg(db, odb, org, k)
+}

@@ -1,0 +1,77 @@
+// Encrypted-traffic policy enforcement: the scenario from the paper's
+// introduction. Zynga and Dropbox both run TLS on shared cloud addresses,
+// so neither DPI signatures nor IP filters can separate them — but the
+// DNS-derived label can, and it is available at the SYN, before any
+// payload byte, so even the handshake can be policed.
+package main
+
+import (
+	"fmt"
+
+	dnhunter "repro"
+)
+
+func main() {
+	policy := dnhunter.NewPolicy(
+		dnhunter.Rule{Pattern: "zynga.com", Action: dnhunter.ActionBlock},
+		dnhunter.Rule{Pattern: "dropbox.com", Action: dnhunter.ActionPrioritize},
+		dnhunter.Rule{Pattern: "youtube.com", Action: dnhunter.ActionDeprioritize},
+	)
+
+	trace := dnhunter.GenerateTrace("EU1-FTTH", 0.3, 7)
+
+	type verdict struct {
+		blocked, prioritized, preSYN int
+	}
+	var v verdict
+	res := dnhunter.RunTrace(trace, dnhunter.Options{
+		OnTag: func(e dnhunter.TagEvent) {
+			// This callback fires when the flow's FIRST packet arrives;
+			// e.SYN says we caught the three-way handshake itself.
+			switch policy.Decide(e.Label) {
+			case dnhunter.ActionBlock:
+				v.blocked++
+				if e.SYN {
+					v.preSYN++
+				}
+			case dnhunter.ActionPrioritize:
+				v.prioritized++
+			}
+		},
+	})
+
+	fmt.Printf("flows: %d total, %d labeled\n", res.Stats.Flows, res.Stats.LabeledFlows)
+	fmt.Printf("blocked (zynga.com): %d flows, %d of them at the SYN\n", v.blocked, v.preSYN)
+	fmt.Printf("prioritized (dropbox.com): %d flows\n", v.prioritized)
+
+	// Show why DPI and IP filtering fail here: blocked and prioritized
+	// flows come out of the same hosting organization's address block.
+	hostOrgs := map[string][2]int{}
+	for _, f := range res.DB.All() {
+		if !f.Labeled {
+			continue
+		}
+		org, ok := trace.OrgDB.Lookup(f.Key.ServerIP)
+		if !ok {
+			continue
+		}
+		s := hostOrgs[org]
+		switch policy.Decide(f.Label) {
+		case dnhunter.ActionBlock:
+			s[0]++
+		case dnhunter.ActionPrioritize:
+			s[1]++
+		default:
+			continue
+		}
+		hostOrgs[org] = s
+	}
+	for org, s := range hostOrgs {
+		if s[0] > 0 && s[1] > 0 {
+			fmt.Printf("hosting org %q carries %d blocked and %d prioritized flows\n", org, s[0], s[1])
+			fmt.Println("(an address-block filter would have to block Dropbox to block Zynga)")
+		}
+	}
+
+	fmt.Printf("\npolicy decisions: %v\n", policy.Decisions())
+}

@@ -1,0 +1,385 @@
+package analytics
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/flowdb"
+	"repro/internal/flows"
+	"repro/internal/layers"
+	"repro/internal/orgdb"
+	"repro/internal/stats"
+)
+
+// mkFlow builds a labeled flow for tests.
+func mkFlow(client, server string, port uint16, label string, l7 flows.L7Proto, start time.Duration) flowdb.LabeledFlow {
+	return flowdb.LabeledFlow{
+		Record: flows.Record{
+			Key: flows.Key{
+				ClientIP:   netip.MustParseAddr(client),
+				ServerIP:   netip.MustParseAddr(server),
+				ClientPort: 40000, ServerPort: port,
+				Proto: layers.IPProtocolTCP,
+			},
+			Start: start, End: start + time.Second, L7: l7,
+		},
+		Label: label, Labeled: label != "",
+	}
+}
+
+func testDB() *flowdb.DB {
+	db := flowdb.New()
+	// Mail service on port 25: two clients, skewed usage.
+	for i := 0; i < 9; i++ {
+		db.Add(mkFlow("10.0.0.1", "62.101.1.1", 25, "smtp2.mail.isp.com", flows.L7Unknown, time.Duration(i)*time.Minute))
+	}
+	db.Add(mkFlow("10.0.0.2", "62.101.1.1", 25, "smtp1.mail.isp.com", flows.L7Unknown, time.Minute))
+	db.Add(mkFlow("10.0.0.2", "62.101.1.2", 25, "mx3.gmail.com", flows.L7Unknown, time.Minute))
+	return db
+}
+
+func TestExtractTagsPaperSemantics(t *testing.T) {
+	db := testDB()
+	tags := ExtractTags(db, 25, 10)
+	if len(tags) == 0 {
+		t.Fatal("no tags")
+	}
+	// smtpN appears for both clients; mail for both; mxN for one.
+	byTok := map[string]TagScore{}
+	for _, tg := range tags {
+		byTok[tg.Token] = tg
+	}
+	if _, ok := byTok["smtpN"]; !ok {
+		t.Fatalf("smtpN missing: %v", tags)
+	}
+	if _, ok := byTok["mail"]; !ok {
+		t.Fatalf("mail missing: %v", tags)
+	}
+	if _, ok := byTok["mxN"]; !ok {
+		t.Fatalf("mxN missing: %v", tags)
+	}
+	// Log damping: client 1's nine flows contribute log(10), not 9.
+	// score(smtpN) = log(9+1) + log(1+1) ≈ 2.99; score(mail) same; both
+	// must exceed mxN = log(2) ≈ 0.69.
+	if byTok["smtpN"].Score <= byTok["mxN"].Score {
+		t.Fatalf("scores: %v", tags)
+	}
+	if byTok["smtpN"].Score > 4 {
+		t.Fatalf("log damping missing: score = %v", byTok["smtpN"].Score)
+	}
+}
+
+func TestExtractTagsRawVsDamped(t *testing.T) {
+	db := testDB()
+	raw := ExtractTagsRaw(db, 25, 10)
+	byTok := map[string]TagScore{}
+	for _, tg := range raw {
+		byTok[tg.Token] = tg
+	}
+	// Raw counts: smtpN carries 10 flows.
+	if byTok["smtpN"].Score != 10 {
+		t.Fatalf("raw score = %v", byTok["smtpN"].Score)
+	}
+}
+
+func TestExtractTagsEmptyPort(t *testing.T) {
+	if tags := ExtractTags(testDB(), 9999, 5); len(tags) != 0 {
+		t.Fatalf("tags on unused port: %v", tags)
+	}
+}
+
+func TestExtractTagsKLimit(t *testing.T) {
+	tags := ExtractTags(testDB(), 25, 1)
+	if len(tags) != 1 {
+		t.Fatalf("k ignored: %v", tags)
+	}
+}
+
+func TestFormatTags(t *testing.T) {
+	s := FormatTags([]TagScore{{Token: "smtp", Score: 91}, {Token: "mail", Score: 37}})
+	if s != "(91)smtp, (37)mail" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestTagCloud(t *testing.T) {
+	recs := []flowdb.LabeledFlow{
+		mkFlow("10.0.0.1", "173.194.1.1", 80, "open-tracker.appspot.com", flows.L7HTTP, 0),
+		mkFlow("10.0.0.2", "173.194.1.1", 80, "open-tracker.appspot.com", flows.L7HTTP, 0),
+		mkFlow("10.0.0.1", "173.194.1.2", 80, "todo-7.appspot.com", flows.L7HTTP, 0),
+		mkFlow("10.0.0.1", "1.1.1.1", 80, "www.other.com", flows.L7HTTP, 0),
+	}
+	for i := range recs {
+		recs[i].SLD = stats.SLD(recs[i].Label)
+	}
+	cloud := TagCloud(recs, "appspot.com", 0)
+	if len(cloud) != 2 {
+		t.Fatalf("cloud = %v", cloud)
+	}
+	if cloud[0].Token != "open-tracker" {
+		t.Fatalf("top token = %q", cloud[0].Token)
+	}
+	if cloud[1].Token != "todo-N" {
+		t.Fatalf("digits not generalized: %q", cloud[1].Token)
+	}
+}
+
+func orgDB() *orgdb.DB {
+	return orgdb.New([]orgdb.Entry{
+		{Prefix: netip.MustParsePrefix("23.0.0.0/8"), Org: "akamai"},
+		{Prefix: netip.MustParsePrefix("54.0.0.0/8"), Org: "amazon"},
+		{Prefix: netip.MustParsePrefix("108.0.0.0/8"), Org: "linkedin"},
+	})
+}
+
+func spatialDB() *flowdb.DB {
+	db := flowdb.New()
+	// linkedin.com: 6 flows edgecast-less version: 3 self, 2 akamai, 1 amazon.
+	db.Add(mkFlow("10.0.0.1", "108.0.0.1", 443, "www.linkedin.com", flows.L7TLS, 0))
+	db.Add(mkFlow("10.0.0.2", "108.0.0.1", 443, "www.linkedin.com", flows.L7TLS, 0))
+	db.Add(mkFlow("10.0.0.1", "108.0.0.2", 443, "api.linkedin.com", flows.L7TLS, 0))
+	db.Add(mkFlow("10.0.0.1", "23.0.0.1", 80, "media1.linkedin.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "23.0.0.2", 80, "media2.linkedin.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "54.0.0.1", 80, "static.linkedin.com", flows.L7HTTP, 0))
+	// Unrelated org.
+	db.Add(mkFlow("10.0.0.1", "54.0.0.9", 80, "www.zynga.com", flows.L7HTTP, 0))
+	return db
+}
+
+func TestSpatialDiscovery(t *testing.T) {
+	res := SpatialDiscovery(spatialDB(), orgDB(), "media1.linkedin.com")
+	if res.SLD != "linkedin.com" {
+		t.Fatalf("SLD = %q", res.SLD)
+	}
+	if res.TotalFlows != 6 {
+		t.Fatalf("flows = %d", res.TotalFlows)
+	}
+	if len(res.Hosts) != 3 {
+		t.Fatalf("hosts = %+v", res.Hosts)
+	}
+	// linkedin self-hosting leads with 3 flows over 2 servers.
+	if res.Hosts[0].Org != "linkedin" || res.Hosts[0].Servers != 2 || res.Hosts[0].Flows != 3 {
+		t.Fatalf("top host = %+v", res.Hosts[0])
+	}
+	if res.Hosts[0].FlowShare != 0.5 {
+		t.Fatalf("share = %v", res.Hosts[0].FlowShare)
+	}
+	// Per-FQDN server sets.
+	if servers := res.PerFQDN["www.linkedin.com"]; len(servers) != 1 {
+		t.Fatalf("www servers = %v", servers)
+	}
+	if len(res.PerFQDN) != 5 {
+		t.Fatalf("per-FQDN entries = %d", len(res.PerFQDN))
+	}
+}
+
+func TestDomainTree(t *testing.T) {
+	tree := DomainTree(spatialDB(), orgDB(), "linkedin.com")
+	if tree.Token != "linkedin.com" || tree.Flows != 6 {
+		t.Fatalf("root = %+v", tree)
+	}
+	// mediaN must merge media1 and media2.
+	var mediaN *TreeNode
+	for _, c := range tree.Children {
+		if c.Token == "mediaN" {
+			mediaN = c
+		}
+	}
+	if mediaN == nil {
+		t.Fatalf("mediaN child missing: %+v", tree.Children)
+	}
+	if mediaN.Flows != 2 || mediaN.DominantOrg() != "akamai" {
+		t.Fatalf("mediaN = %+v", mediaN)
+	}
+	// www leads by flow count among single-name children.
+	if tree.Children[0].Token != "mediaN" && tree.Children[0].Token != "www" {
+		t.Fatalf("ordering: %q", tree.Children[0].Token)
+	}
+	if tree.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	db := spatialDB()
+	odb := orgDB()
+	per := map[string]*SpatialResult{
+		"T1": SpatialDiscovery(db, odb, "linkedin.com"),
+		"T2": SpatialDiscovery(db, odb, "linkedin.com"),
+	}
+	h := BuildHeatmap("linkedin.com", "linkedin", per)
+	if h.HostOrgs[0] != "SELF" {
+		t.Fatalf("orgs = %v", h.HostOrgs)
+	}
+	if v := h.Rows["T1"]["SELF"]; v != 0.5 {
+		t.Fatalf("SELF share = %v", v)
+	}
+	if h.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestContentDiscovery(t *testing.T) {
+	db := spatialDB()
+	odb := orgDB()
+	amazonServers := ServersOfOrg(db, odb, "amazon")
+	if len(amazonServers) != 2 {
+		t.Fatalf("amazon servers = %v", amazonServers)
+	}
+	top := ContentDiscovery(db, amazonServers, BySLD, 10)
+	if len(top) != 2 {
+		t.Fatalf("content = %+v", top)
+	}
+	names := map[string]bool{}
+	for _, c := range top {
+		names[c.Name] = true
+	}
+	if !names["linkedin.com"] || !names["zynga.com"] {
+		t.Fatalf("content = %+v", top)
+	}
+	// FQDN granularity keeps full names.
+	topF := ContentDiscovery(db, amazonServers, ByFQDN, 10)
+	if len(topF) != 2 || (topF[0].Name != "static.linkedin.com" && topF[0].Name != "www.zynga.com") {
+		t.Fatalf("fqdn content = %+v", topF)
+	}
+}
+
+func TestTopDomainsOnOrg(t *testing.T) {
+	top := TopDomainsOnOrg(spatialDB(), orgDB(), "akamai", 5)
+	if len(top) != 1 || top[0].Name != "linkedin.com" || top[0].Flows != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestFanoutCDFs(t *testing.T) {
+	db := flowdb.New()
+	// fqdn-a on 3 servers; fqdn-b on 1; server 1.1.1.1 carries 2 names.
+	db.Add(mkFlow("10.0.0.1", "1.1.1.1", 80, "a.x.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.2", 80, "a.x.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.3", 80, "a.x.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.1", 80, "b.x.com", flows.L7HTTP, 0))
+	ipsPer, fqdnsPer := FanoutCDFs(db)
+	if ipsPer.Len() != 2 || fqdnsPer.Len() != 3 {
+		t.Fatalf("lens = %d %d", ipsPer.Len(), fqdnsPer.Len())
+	}
+	if got := ipsPer.At(1); got != 0.5 {
+		t.Fatalf("P(ips<=1) = %v", got)
+	}
+	fqdnSingle, ipSingle := SingletonShares(db)
+	if fqdnSingle != 0.5 {
+		t.Fatalf("fqdnSingle = %v", fqdnSingle)
+	}
+	if ipSingle < 0.6 || ipSingle > 0.7 {
+		t.Fatalf("ipSingle = %v", ipSingle)
+	}
+}
+
+func TestReverseLookupCompare(t *testing.T) {
+	db := flowdb.New()
+	db.Add(mkFlow("10.0.0.1", "1.1.1.1", 80, "www.x.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.2", 80, "www.y.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.3", 80, "www.z.com", flows.L7HTTP, 0))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.4", 80, "www.w.com", flows.L7HTTP, 0))
+	zone := map[netip.Addr]string{
+		netip.MustParseAddr("1.1.1.1"): "www.x.com",      // exact
+		netip.MustParseAddr("1.1.1.2"): "server9.y.com",  // same SLD
+		netip.MustParseAddr("1.1.1.3"): "a1.cdnhost.net", // different
+		netip.MustParseAddr("1.1.1.4"): "",               // no answer
+	}
+	res := ReverseLookupCompare(db, zone, 10, stats.NewRNG(1))
+	if res.Total != 4 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	for class, want := range map[MatchClass]int{MatchExact: 1, MatchSLD: 1, MatchDifferent: 1, MatchNone: 1} {
+		if res.Counts[class] != want {
+			t.Fatalf("class %v = %d, want %d (%+v)", class, res.Counts[class], want, res.Counts)
+		}
+	}
+	if res.Fraction(MatchExact) != 0.25 {
+		t.Fatalf("fraction = %v", res.Fraction(MatchExact))
+	}
+}
+
+func TestCertCompare(t *testing.T) {
+	mk := func(label string, certs []string) flowdb.LabeledFlow {
+		f := mkFlow("10.0.0.1", "1.1.1.1", 443, label, flows.L7TLS, 0)
+		f.CertNames = certs
+		return f
+	}
+	recs := []flowdb.LabeledFlow{
+		mk("www.x.com", []string{"www.x.com"}),                          // exact
+		mk("mail.google.com", []string{"*.google.com"}),                 // generic
+		mk("static.zynga.com", []string{"a248.e.akamai.net"}),           // different
+		mk("www.y.com", nil),                                            // no certificate
+		mkFlow("10.0.0.1", "1.1.1.1", 80, "www.h.com", flows.L7HTTP, 0), // non-TLS: excluded
+	}
+	res := CertCompare(recs)
+	if res.Total != 4 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	for class, want := range map[MatchClass]int{MatchExact: 1, MatchGeneric: 1, MatchDifferent: 1, MatchNone: 1} {
+		if res.Counts[class] != want {
+			t.Fatalf("class %v = %d (%+v)", class, res.Counts[class], res.Counts)
+		}
+	}
+}
+
+func TestMatchClassString(t *testing.T) {
+	for _, m := range []MatchClass{MatchExact, MatchSLD, MatchGeneric, MatchDifferent, MatchNone} {
+		if m.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+}
+
+func TestServerTimeseries(t *testing.T) {
+	db := flowdb.New()
+	db.Add(mkFlow("10.0.0.1", "1.1.1.1", 80, "a.x.com", flows.L7HTTP, time.Minute))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.2", 80, "b.x.com", flows.L7HTTP, 2*time.Minute))
+	db.Add(mkFlow("10.0.0.1", "1.1.1.1", 80, "a.x.com", flows.L7HTTP, 15*time.Minute))
+	ts := ServerTimeseries(db, []string{"x.com"}, 10*time.Minute)
+	if got := ts["x.com"]; len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("series = %v", got)
+	}
+}
+
+func TestCDNTimeseries(t *testing.T) {
+	db := spatialDB()
+	ts := CDNTimeseries(db, orgDB(), []string{"akamai", "amazon"}, 10*time.Minute)
+	if got := ts["akamai"]; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("akamai series = %v", got)
+	}
+	if got := ts["amazon"]; got[0] != 2 {
+		t.Fatalf("amazon series = %v", got)
+	}
+}
+
+func TestDelayCDFs(t *testing.T) {
+	db := flowdb.New()
+	f1 := mkFlow("10.0.0.1", "1.1.1.1", 80, "a.x.com", flows.L7HTTP, time.Second)
+	f1.DNSDelay = 500 * time.Millisecond
+	f1.FirstAfterDNS = true
+	f2 := mkFlow("10.0.0.1", "1.1.1.1", 80, "a.x.com", flows.L7HTTP, 2*time.Second)
+	f2.DNSDelay = 90 * time.Second
+	db.Add(f1)
+	db.Add(f2)
+	first, any := DelayCDFs(db)
+	if first.Len() != 1 || any.Len() != 2 {
+		t.Fatalf("lens = %d %d", first.Len(), any.Len())
+	}
+	if first.At(1) != 1 {
+		t.Fatalf("first-flow CDF at 1s = %v", first.At(1))
+	}
+	if any.At(1) != 0.5 {
+		t.Fatalf("any-flow CDF at 1s = %v", any.At(1))
+	}
+}
+
+func TestDNSRate(t *testing.T) {
+	times := []time.Duration{time.Minute, 2 * time.Minute, 11 * time.Minute}
+	vs := DNSRate(times, 10*time.Minute)
+	if len(vs) != 2 || vs[0] != 2 || vs[1] != 1 {
+		t.Fatalf("rate = %v", vs)
+	}
+}

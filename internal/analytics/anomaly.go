@@ -1,0 +1,203 @@
+package analytics
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// anomaly.go implements the application the paper sketches in §4.1: because
+// DN-Hunter continuously tracks the FQDN → serverIP mapping, a response
+// that suddenly points a well-known name at infrastructure never seen
+// before — the signature of DNS cache poisoning or hijacking — can be
+// flagged the moment it appears.
+
+// AnomalyKind classifies a mapping change.
+type AnomalyKind uint8
+
+// Kinds of mapping change.
+const (
+	// AnomalyNewOrg: the name moved to a hosting organization never seen
+	// serving it before (strongest poisoning signal).
+	AnomalyNewOrg AnomalyKind = iota
+	// AnomalyNewPrefix: same org but a /16 never seen for this name.
+	AnomalyNewPrefix
+)
+
+// String names the kind.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalyNewOrg:
+		return "new-organization"
+	default:
+		return "new-prefix"
+	}
+}
+
+// Anomaly is one flagged mapping change.
+type Anomaly struct {
+	At     time.Duration
+	FQDN   string
+	Addr   netip.Addr
+	Kind   AnomalyKind
+	Detail string
+}
+
+// OrgLookup resolves an address to an owning organization; orgdb.DB
+// satisfies it.
+type OrgLookup interface {
+	Lookup(netip.Addr) (string, bool)
+}
+
+// MappingMonitor watches DNS responses and flags FQDNs whose serving
+// infrastructure changes in a suspicious way. It needs a learning phase:
+// the first MinObservations responses for a name establish its baseline and
+// are never flagged (CDN churn inside the baseline org/prefixes is normal).
+type MappingMonitor struct {
+	// MinObservations before a name can alarm (default 3).
+	MinObservations int
+	odb             OrgLookup
+	names           map[string]*nameBaseline
+	anomalies       []Anomaly
+	// Suppressed counts changes ignored during learning.
+	Suppressed int
+}
+
+type nameBaseline struct {
+	observations int
+	orgs         map[string]struct{}
+	prefixes     map[netip.Prefix]struct{}
+}
+
+// orgList renders the baseline orgs sorted, for anomaly detail strings.
+func (nb *nameBaseline) orgList() []string {
+	out := make([]string, 0, len(nb.orgs))
+	for o := range nb.orgs {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewMappingMonitor creates a monitor joined against the org database.
+func NewMappingMonitor(odb OrgLookup) *MappingMonitor {
+	return &MappingMonitor{
+		MinObservations: 3,
+		odb:             odb,
+		names:           make(map[string]*nameBaseline),
+	}
+}
+
+// coarse reduces an address to its /16 (or /32 prefix for IPv6) for
+// baseline comparison: CDNs rotate inside blocks, hijacks land outside.
+func coarse(a netip.Addr) netip.Prefix {
+	bits := 16
+	if a.Is6() && !a.Is4In6() {
+		bits = 32
+	}
+	p, _ := a.Prefix(bits)
+	return p
+}
+
+// Observe feeds one DNS response (name + answer addresses) at a trace
+// offset and returns any anomalies it raised.
+func (m *MappingMonitor) Observe(at time.Duration, fqdn string, addrs []netip.Addr) []Anomaly {
+	nb, ok := m.names[fqdn]
+	if !ok {
+		nb = &nameBaseline{orgs: map[string]struct{}{}, prefixes: map[netip.Prefix]struct{}{}}
+		m.names[fqdn] = nb
+	}
+	var raised []Anomaly
+	learning := nb.observations < m.minObs()
+	for _, a := range addrs {
+		org, orgResolved := m.odb.Lookup(a)
+		pfx := coarse(a)
+		// Rotation INSIDE a baseline hosting org is ordinary CDN churn and
+		// never alarms; the signals are (a) a known org the name has never
+		// used and (b) address space outside every known allocation.
+		var suspicious bool
+		var kind AnomalyKind
+		var detail string
+		switch {
+		case orgResolved:
+			if _, known := nb.orgs[org]; !known && len(nb.orgs) > 0 {
+				suspicious = true
+				kind = AnomalyNewOrg
+				detail = fmt.Sprintf("org %q unseen for %s (baseline: %v)", org, fqdn, nb.orgList())
+			}
+		default:
+			if _, known := nb.prefixes[pfx]; !known {
+				suspicious = true
+				kind = AnomalyNewPrefix
+				detail = fmt.Sprintf("unallocated prefix %v unseen for %s", pfx, fqdn)
+			}
+		}
+		switch {
+		case suspicious && !learning:
+			an := Anomaly{At: at, FQDN: fqdn, Addr: a, Kind: kind, Detail: detail}
+			raised = append(raised, an)
+			m.anomalies = append(m.anomalies, an)
+		case suspicious:
+			m.Suppressed++
+		}
+		if orgResolved {
+			nb.orgs[org] = struct{}{}
+		}
+		nb.prefixes[pfx] = struct{}{}
+	}
+	nb.observations++
+	return raised
+}
+
+func (m *MappingMonitor) minObs() int {
+	if m.MinObservations <= 0 {
+		return 3
+	}
+	return m.MinObservations
+}
+
+// Anomalies returns every anomaly raised so far, in observation order.
+func (m *MappingMonitor) Anomalies() []Anomaly { return m.anomalies }
+
+// Names returns how many FQDNs have baselines.
+func (m *MappingMonitor) Names() int { return len(m.names) }
+
+// Report renders a summary sorted by FQDN then time.
+func (m *MappingMonitor) Report() string {
+	out := append([]Anomaly(nil), m.anomalies...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FQDN != out[j].FQDN {
+			return out[i].FQDN < out[j].FQDN
+		}
+		return out[i].At < out[j].At
+	})
+	var b []byte
+	for _, a := range out {
+		b = append(b, fmt.Sprintf("%-10v %-10s %-30s %v %s\n",
+			a.At.Round(time.Second), a.Kind, a.FQDN, a.Addr, a.Detail)...)
+	}
+	if len(b) == 0 {
+		return "no anomalies\n"
+	}
+	return string(b)
+}
+
+// FalseAlarmRate estimates how noisy the monitor would be on benign churn:
+// feed it every DNS event from an event trace and return anomalies per
+// thousand responses. Used by the bench to show CDN churn stays below the
+// alarm threshold while an injected hijack fires.
+func FalseAlarmRate(m *MappingMonitor, events []struct {
+	At    time.Duration
+	FQDN  string
+	Addrs []netip.Addr
+}) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	alarms := 0
+	for _, ev := range events {
+		alarms += len(m.Observe(ev.At, ev.FQDN, ev.Addrs))
+	}
+	return 1000 * float64(alarms) / float64(len(events))
+}

@@ -1,0 +1,147 @@
+package analytics
+
+import (
+	"net/netip"
+	"strings"
+
+	"repro/internal/flowdb"
+	"repro/internal/flows"
+	"repro/internal/stats"
+)
+
+// MatchClass buckets a baseline's answer against DN-Hunter's label, the
+// taxonomy of Tables 3 and 4.
+type MatchClass uint8
+
+// Comparison outcomes.
+const (
+	// MatchExact: the baseline returned the same FQDN.
+	MatchExact MatchClass = iota
+	// MatchSLD: only the second-level domain matched.
+	MatchSLD
+	// MatchGeneric: a wildcard certificate covering the SLD (Table 4 only).
+	MatchGeneric
+	// MatchDifferent: a totally different name.
+	MatchDifferent
+	// MatchNone: the baseline had no answer (no PTR / no certificate).
+	MatchNone
+)
+
+// String names the class.
+func (m MatchClass) String() string {
+	switch m {
+	case MatchExact:
+		return "same FQDN"
+	case MatchSLD:
+		return "same 2nd-level domain"
+	case MatchGeneric:
+		return "generic certificate"
+	case MatchDifferent:
+		return "totally different"
+	default:
+		return "no answer"
+	}
+}
+
+// CompareResult tallies comparison outcomes.
+type CompareResult struct {
+	Counts map[MatchClass]int
+	Total  int
+}
+
+// Fraction returns the share of outcomes in class m.
+func (r CompareResult) Fraction(m MatchClass) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Counts[m]) / float64(r.Total)
+}
+
+// classifyNames buckets a baseline answer vs the DN-Hunter label.
+func classifyNames(label, answer string) MatchClass {
+	if answer == "" {
+		return MatchNone
+	}
+	label = strings.ToLower(label)
+	answer = strings.ToLower(answer)
+	if answer == label {
+		return MatchExact
+	}
+	if stats.SLD(answer) == stats.SLD(label) {
+		return MatchSLD
+	}
+	return MatchDifferent
+}
+
+// ReverseLookupCompare reproduces Table 3: sample up to n labeled server
+// addresses, "perform" the reverse lookup against the PTR zone, and compare
+// the PTR with the sniffer's FQDN. The zone maps address → PTR name, with
+// "" meaning the name exists but resolves to nothing and a missing key
+// meaning NXDOMAIN; both count as no-answer, as in the paper.
+func ReverseLookupCompare(db *flowdb.DB, zone map[netip.Addr]string, n int, rng *stats.RNG) CompareResult {
+	res := CompareResult{Counts: make(map[MatchClass]int)}
+	// Collect (server, one label) pairs for labeled servers.
+	servers := db.Servers()
+	if len(servers) == 0 {
+		return res
+	}
+	// Deterministic sample without replacement.
+	perm := rng.Perm(len(servers))
+	for _, idx := range perm {
+		if res.Total >= n {
+			break
+		}
+		srv := servers[idx]
+		var label string
+		for _, f := range db.ByServer(srv) {
+			if f.Labeled {
+				label = f.Label
+				break
+			}
+		}
+		if label == "" {
+			continue // the sniffer never labeled this server
+		}
+		ptr := zone[srv]
+		res.Counts[classifyNames(label, ptr)]++
+		res.Total++
+	}
+	return res
+}
+
+// CertCompare reproduces Table 4 over every TLS flow DN-Hunter labeled:
+// compare the certificate subject captured by the inspection baseline with
+// the FQDN label. Wildcard subjects ("*.google.com") covering the label's
+// SLD are "generic"; absent certificates (resumption) are "no certificate".
+func CertCompare(recs []flowdb.LabeledFlow) CompareResult {
+	res := CompareResult{Counts: make(map[MatchClass]int)}
+	for i := range recs {
+		f := &recs[i]
+		// Only TLS flows with a DN-Hunter label participate.
+		if !f.Labeled || f.L7 != flows.L7TLS {
+			continue
+		}
+		res.Total++
+		if len(f.CertNames) == 0 {
+			res.Counts[MatchNone]++
+			continue
+		}
+		cn := strings.ToLower(f.CertNames[0])
+		label := strings.ToLower(f.Label)
+		switch {
+		case cn == label:
+			res.Counts[MatchExact]++
+		case strings.HasPrefix(cn, "*."):
+			if stats.SLD(cn[2:]) == stats.SLD(label) || cn[2:] == stats.SLD(label) {
+				res.Counts[MatchGeneric]++
+			} else {
+				res.Counts[MatchDifferent]++
+			}
+		case stats.SLD(cn) == stats.SLD(label):
+			res.Counts[MatchSLD]++
+		default:
+			res.Counts[MatchDifferent]++
+		}
+	}
+	return res
+}

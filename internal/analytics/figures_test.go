@@ -1,0 +1,97 @@
+package analytics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/synth"
+)
+
+func liveTrace(t *testing.T) *synth.EventTrace {
+	t.Helper()
+	return synth.GenerateEvents(synth.LiveScenario{
+		Days: 3, Clients: 30, SessionsPerDay: 4000, Geo: synth.GeoEU1, Seed: 11,
+	})
+}
+
+func TestBirthProcessShapes(t *testing.T) {
+	tr := liveTrace(t)
+	bs := BirthProcess(tr, 4*time.Hour)
+	n := len(bs.FQDN)
+	if n < 10 {
+		t.Fatalf("bins = %d", n)
+	}
+	// Cumulative curves must be non-decreasing.
+	for i := 1; i < n; i++ {
+		if bs.FQDN[i] < bs.FQDN[i-1] || bs.SLD[i] < bs.SLD[i-1] || bs.Server[i] < bs.Server[i-1] {
+			t.Fatal("birth curves not monotone")
+		}
+	}
+	if bs.FQDN[n-1] == 0 || bs.Server[n-1] == 0 {
+		t.Fatal("empty curves")
+	}
+	// The paper's claim: FQDNs keep growing while SLDs saturate. The
+	// late/early growth ratio of FQDNs must exceed that of SLDs.
+	fq := bs.GrowthRatio(bs.FQDN)
+	sld := bs.GrowthRatio(bs.SLD)
+	if fq <= sld {
+		t.Fatalf("FQDN growth ratio %v not above SLD %v", fq, sld)
+	}
+	// And FQDN count must dwarf the SLD count.
+	if bs.FQDN[n-1] < 5*bs.SLD[n-1] {
+		t.Fatalf("FQDN total %d vs SLD %d", bs.FQDN[n-1], bs.SLD[n-1])
+	}
+}
+
+func TestAppspotTracking(t *testing.T) {
+	tr := liveTrace(t)
+	rep := AppspotTracking(tr, 4*time.Hour)
+	if rep.TrackerServices == 0 || rep.GeneralServices == 0 {
+		t.Fatalf("services: %+v", rep)
+	}
+	// Table 8's shape: trackers are few but flow-heavy; general apps move
+	// far more server-to-client bytes per flow.
+	if rep.GeneralServices < rep.TrackerServices {
+		t.Fatalf("general (%d) should outnumber trackers (%d)", rep.GeneralServices, rep.TrackerServices)
+	}
+	if rep.TrackerFlows < rep.GeneralFlows {
+		t.Fatalf("tracker flows (%d) should exceed general flows (%d)", rep.TrackerFlows, rep.GeneralFlows)
+	}
+	perFlowTracker := float64(rep.TrackerS2C) / float64(rep.TrackerFlows)
+	perFlowGeneral := float64(rep.GeneralS2C) / float64(rep.GeneralFlows)
+	if perFlowGeneral < 4*perFlowTracker {
+		t.Fatalf("S2C per flow: general %v vs tracker %v", perFlowGeneral, perFlowTracker)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("no tracker timelines")
+	}
+	// Persistent trackers (ids assigned from first-seen) should span many
+	// bins.
+	max := 0
+	for _, bins := range rep.Timeline {
+		if len(bins) > max {
+			max = len(bins)
+		}
+	}
+	if max < 5 {
+		t.Fatalf("most active tracker spans only %d bins", max)
+	}
+}
+
+func TestBirthProcessEmptyTrace(t *testing.T) {
+	tr := &synth.EventTrace{Scenario: synth.LiveScenario{Days: 1}}
+	bs := BirthProcess(tr, time.Hour)
+	if len(bs.FQDN) == 0 || bs.FQDN[len(bs.FQDN)-1] != 0 {
+		t.Fatalf("empty trace curves: %v", bs.FQDN)
+	}
+}
+
+func TestGrowthRatioDegenerate(t *testing.T) {
+	bs := &BirthSeries{}
+	if bs.GrowthRatio([]int{1, 2}) != 0 {
+		t.Fatal("short series should yield 0")
+	}
+	if bs.GrowthRatio([]int{5, 5, 5, 5, 5, 5}) != 0 {
+		t.Fatal("flat series should yield 0")
+	}
+}

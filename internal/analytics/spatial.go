@@ -1,0 +1,245 @@
+package analytics
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/flowdb"
+	"repro/internal/orgdb"
+	"repro/internal/stats"
+)
+
+// SpatialResult answers Algorithm 2 for one organization: which servers —
+// grouped by the hosting organization — deliver each of its FQDNs, and how
+// flows split across them.
+type SpatialResult struct {
+	SLD string
+	// PerFQDN maps each FQDN under the SLD to its serving addresses.
+	PerFQDN map[string][]netip.Addr
+	// Hosts aggregates by hosting organization (Fig. 7/8's rectangles).
+	Hosts []HostShare
+	// TotalFlows is the number of labeled flows to the SLD.
+	TotalFlows int
+}
+
+// HostShare is one hosting org's slice of an organization's traffic.
+type HostShare struct {
+	Org       string
+	Servers   int
+	Flows     int
+	FlowShare float64
+	// FQDNs served from this host org, sorted.
+	FQDNs []string
+}
+
+// SpatialDiscovery implements Algorithm 2: given a target name, extract the
+// second-level domain, pull every flow to that organization, and rank the
+// serving infrastructure. The org database plays the whois/MaxMind role.
+func SpatialDiscovery(db *flowdb.DB, odb *orgdb.DB, name string) *SpatialResult {
+	sld := stats.SLD(name)
+	res := &SpatialResult{SLD: sld, PerFQDN: make(map[string][]netip.Addr)}
+	type agg struct {
+		servers map[netip.Addr]struct{}
+		fqdns   map[string]struct{}
+		flows   int
+	}
+	byOrg := make(map[string]*agg)
+	for _, f := range db.BySLD(sld) {
+		res.TotalFlows++
+		org, ok := odb.Lookup(f.Key.ServerIP)
+		if !ok {
+			org = "unknown"
+		}
+		a, ok := byOrg[org]
+		if !ok {
+			a = &agg{servers: map[netip.Addr]struct{}{}, fqdns: map[string]struct{}{}}
+			byOrg[org] = a
+		}
+		a.servers[f.Key.ServerIP] = struct{}{}
+		a.fqdns[f.Label] = struct{}{}
+		a.flows++
+	}
+	for _, fqdn := range db.FQDNsOfSLD(sld) {
+		res.PerFQDN[fqdn] = db.ServersOfFQDN(fqdn)
+	}
+	for org, a := range byOrg {
+		hs := HostShare{Org: org, Servers: len(a.servers), Flows: a.flows}
+		if res.TotalFlows > 0 {
+			hs.FlowShare = float64(a.flows) / float64(res.TotalFlows)
+		}
+		for f := range a.fqdns {
+			hs.FQDNs = append(hs.FQDNs, f)
+		}
+		sort.Strings(hs.FQDNs)
+		res.Hosts = append(res.Hosts, hs)
+	}
+	sort.Slice(res.Hosts, func(i, j int) bool {
+		if res.Hosts[i].Flows != res.Hosts[j].Flows {
+			return res.Hosts[i].Flows > res.Hosts[j].Flows
+		}
+		return res.Hosts[i].Org < res.Hosts[j].Org
+	})
+	return res
+}
+
+// TreeNode is one token of a domain-structure tree (Figs. 7/8): FQDNs of an
+// organization merged into a token trie, numbers generalized to N, with
+// hosting info at the leaves.
+type TreeNode struct {
+	Token    string
+	Children []*TreeNode
+	// Flows through this node's subtree.
+	Flows int
+	// Orgs serving leaves below this node (leaf nodes typically have one).
+	Orgs map[string]int
+}
+
+// DomainTree builds the token trie for an SLD. Labels are read from the TLD
+// inward (the paper's trees hang sub-labels beneath the SLD), and numeric
+// runs collapse ("media1", "media2" → "mediaN").
+func DomainTree(db *flowdb.DB, odb *orgdb.DB, name string) *TreeNode {
+	sld := stats.SLD(name)
+	root := &TreeNode{Token: sld, Orgs: map[string]int{}}
+	for _, f := range db.BySLD(sld) {
+		prefix := stats.HostPrefix(f.Label)
+		labels := stats.SplitFQDN(prefix)
+		// Walk from the label closest to the SLD outwards.
+		node := root
+		node.Flows++
+		org, ok := odb.Lookup(f.Key.ServerIP)
+		if !ok {
+			org = "unknown"
+		}
+		root.Orgs[org]++
+		for i := len(labels) - 1; i >= 0; i-- {
+			tok := stats.GeneralizeDigits(labels[i])
+			child := node.findChild(tok)
+			if child == nil {
+				child = &TreeNode{Token: tok, Orgs: map[string]int{}}
+				node.Children = append(node.Children, child)
+			}
+			child.Flows++
+			child.Orgs[org]++
+			node = child
+		}
+	}
+	root.sortRec()
+	return root
+}
+
+func (n *TreeNode) findChild(tok string) *TreeNode {
+	for _, c := range n.Children {
+		if c.Token == tok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (n *TreeNode) sortRec() {
+	sort.Slice(n.Children, func(i, j int) bool {
+		if n.Children[i].Flows != n.Children[j].Flows {
+			return n.Children[i].Flows > n.Children[j].Flows
+		}
+		return n.Children[i].Token < n.Children[j].Token
+	})
+	for _, c := range n.Children {
+		c.sortRec()
+	}
+}
+
+// DominantOrg returns the hosting org carrying most of the node's flows.
+func (n *TreeNode) DominantOrg() string {
+	best, bestN := "", -1
+	for org, c := range n.Orgs {
+		if c > bestN || (c == bestN && org < best) {
+			best, bestN = org, c
+		}
+	}
+	return best
+}
+
+// Render prints the tree with flow shares, a text stand-in for Figs. 7/8.
+func (n *TreeNode) Render() string {
+	var b strings.Builder
+	total := n.Flows
+	if total == 0 {
+		total = 1
+	}
+	var walk func(node *TreeNode, depth int)
+	walk = func(node *TreeNode, depth int) {
+		fmt.Fprintf(&b, "%s%s [%d flows, %.0f%%, %s]\n",
+			strings.Repeat("  ", depth), node.Token, node.Flows,
+			100*float64(node.Flows)/float64(total), node.DominantOrg())
+		for _, c := range node.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Heatmap is the Fig. 9 structure: for one content organization, the share
+// of flows served by each hosting org in each trace.
+type Heatmap struct {
+	SLD string
+	// Rows: trace name -> hosting org -> flow share in that trace.
+	Rows map[string]map[string]float64
+	// HostOrgs is the union of hosting orgs across rows, "SELF" first.
+	HostOrgs []string
+}
+
+// BuildHeatmap aggregates spatial results from several traces. self names
+// the org's own hosting provider (mapped to "SELF" as in the paper).
+func BuildHeatmap(sld, self string, perTrace map[string]*SpatialResult) *Heatmap {
+	h := &Heatmap{SLD: sld, Rows: make(map[string]map[string]float64)}
+	set := map[string]struct{}{}
+	for trace, res := range perTrace {
+		row := make(map[string]float64)
+		for _, hs := range res.Hosts {
+			org := hs.Org
+			if org == self {
+				org = "SELF"
+			}
+			row[org] += hs.FlowShare
+			set[org] = struct{}{}
+		}
+		h.Rows[trace] = row
+	}
+	if _, ok := set["SELF"]; ok {
+		h.HostOrgs = append(h.HostOrgs, "SELF")
+		delete(set, "SELF")
+	}
+	var rest []string
+	for org := range set {
+		rest = append(rest, org)
+	}
+	sort.Strings(rest)
+	h.HostOrgs = append(h.HostOrgs, rest...)
+	return h
+}
+
+// Render prints the heat map as a table of percentages.
+func (h *Heatmap) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-12s", h.SLD, "")
+	for _, org := range h.HostOrgs {
+		fmt.Fprintf(&b, " %12s", org)
+	}
+	b.WriteByte('\n')
+	var traces []string
+	for t := range h.Rows {
+		traces = append(traces, t)
+	}
+	sort.Strings(traces)
+	for _, t := range traces {
+		fmt.Fprintf(&b, "%-12s", t)
+		for _, org := range h.HostOrgs {
+			fmt.Fprintf(&b, " %11.1f%%", 100*h.Rows[t][org])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

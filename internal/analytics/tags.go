@@ -1,0 +1,150 @@
+// Package analytics implements the paper's off-line analyzer (§4): spatial
+// discovery of servers (Algorithm 2), content discovery (Algorithm 3),
+// automatic service-tag extraction (Algorithm 4), the two baselines the
+// paper compares against (active reverse lookup, TLS certificate
+// inspection), and the measurement extraction behind every figure.
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/flowdb"
+	"repro/internal/stats"
+)
+
+// TagScore is one ranked service token.
+type TagScore struct {
+	Token string
+	// Score is Σ_c log(N_X(c)+1) over clients c (paper Eq. 1): the
+	// logarithm damps single clients that open very many connections.
+	Score float64
+	// Flows is the raw flow count carrying the token.
+	Flows int
+}
+
+// ExtractTags implements Algorithm 4: retrieve the FQDNs of flows to dPort,
+// tokenize each (drop TLD and SLD, split on non-alphanumerics, digits → N),
+// score tokens per Eq. 1, and return the top k.
+func ExtractTags(db *flowdb.DB, dPort uint16, k int) []TagScore {
+	// N_X(c): flows per (token, client).
+	perClient := make(map[string]map[netip.Addr]int)
+	flowsPerToken := make(map[string]int)
+	for _, f := range db.ByPort(dPort) {
+		if !f.Labeled {
+			continue
+		}
+		for _, tok := range stats.ServiceTokens(f.Label) {
+			m, ok := perClient[tok]
+			if !ok {
+				m = make(map[netip.Addr]int)
+				perClient[tok] = m
+			}
+			m[f.Key.ClientIP]++
+			flowsPerToken[tok]++
+		}
+	}
+	out := make([]TagScore, 0, len(perClient))
+	for tok, clients := range perClient {
+		score := 0.0
+		for _, n := range clients {
+			score += math.Log(float64(n) + 1)
+		}
+		out = append(out, TagScore{Token: tok, Score: score, Flows: flowsPerToken[tok]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Token < out[j].Token // stable tie-break
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ExtractTagsRaw is the ablation variant scoring by raw flow counts instead
+// of Eq. 1's per-client log damping (BenchmarkAblationTagScore): a single
+// chatty client can dominate the ranking.
+func ExtractTagsRaw(db *flowdb.DB, dPort uint16, k int) []TagScore {
+	flowsPerToken := make(map[string]int)
+	for _, f := range db.ByPort(dPort) {
+		if !f.Labeled {
+			continue
+		}
+		for _, tok := range stats.ServiceTokens(f.Label) {
+			flowsPerToken[tok]++
+		}
+	}
+	out := make([]TagScore, 0, len(flowsPerToken))
+	for tok, n := range flowsPerToken {
+		out = append(out, TagScore{Token: tok, Score: float64(n), Flows: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Token < out[j].Token
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// FormatTags renders tags like the paper's tables: "(91)smtp, (37)mail".
+func FormatTags(tags []TagScore) string {
+	parts := make([]string, len(tags))
+	for i, t := range tags {
+		parts[i] = fmt.Sprintf("(%.0f)%s", t.Score, t.Token)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// TagCloud scores every token across all ports for an SLD — the word cloud
+// of Fig. 10 (appspot services). Scores use Eq. 1 over the host prefix of
+// each FQDN under the SLD.
+func TagCloud(recs []flowdb.LabeledFlow, sld string, k int) []TagScore {
+	perClient := make(map[string]map[netip.Addr]int)
+	flowsPer := make(map[string]int)
+	for i := range recs {
+		f := &recs[i]
+		if !f.Labeled || stats.SLD(f.Label) != sld {
+			continue
+		}
+		host := stats.HostPrefix(f.Label)
+		if host == "" {
+			continue
+		}
+		tok := stats.GeneralizeDigits(host)
+		m, ok := perClient[tok]
+		if !ok {
+			m = make(map[netip.Addr]int)
+			perClient[tok] = m
+		}
+		m[f.Key.ClientIP]++
+		flowsPer[tok]++
+	}
+	out := make([]TagScore, 0, len(perClient))
+	for tok, clients := range perClient {
+		score := 0.0
+		for _, n := range clients {
+			score += math.Log(float64(n) + 1)
+		}
+		out = append(out, TagScore{Token: tok, Score: score, Flows: flowsPer[tok]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Token < out[j].Token
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

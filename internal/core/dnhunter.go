@@ -1,0 +1,252 @@
+// Package core wires the DN-Hunter pipeline together (paper Fig. 1): a
+// packet source feeds the flow sniffer and the DNS response sniffer; DNS
+// responses populate the resolver (the clients' cache replica); the flow
+// tagger labels every flow at its first packet — before any payload byte —
+// and emits labeled flows to the database and to the policy hook.
+package core
+
+import (
+	"errors"
+	"io"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/flowdb"
+	"repro/internal/flows"
+	"repro/internal/layers"
+	"repro/internal/netio"
+	"repro/internal/resolver"
+)
+
+// TagEvent is delivered to the policy hook the moment a flow is first seen
+// and labeled. Because it fires on the SYN, a policy enforcer can act on
+// the whole connection including the three-way handshake.
+type TagEvent struct {
+	Key    flows.Key
+	At     time.Duration
+	Label  string // empty when the resolver missed
+	Hit    bool
+	SYN    bool // true when the flow was caught at its first segment
+	PreDNS time.Duration
+}
+
+// DNSEvent describes one sniffed DNS response.
+type DNSEvent struct {
+	At       time.Duration
+	Client   netip.Addr
+	FQDN     string
+	NumAddrs int
+}
+
+// Config assembles a pipeline.
+type Config struct {
+	// Resolver configuration (Clist size, map kind, history).
+	Resolver resolver.Config
+	// Flows configures the flow table (timeouts, client networks).
+	Flows flows.Config
+	// DB receives labeled flows; nil allocates a fresh one.
+	DB *flowdb.DB
+	// OnTag, when set, fires at flow start with the assigned label — the
+	// online policy-enforcement hook.
+	OnTag func(TagEvent)
+	// OnDNSResponse, when set, fires for every decoded DNS response.
+	OnDNSResponse func(DNSEvent)
+	// Truth, when set, supplies ground-truth FQDNs for synthetic flows
+	// (used only for scoring, never for labeling).
+	Truth func(flows.Key) string
+}
+
+// Stats aggregates pipeline counters.
+type Stats struct {
+	Parser   layers.ParserStats
+	Resolver resolver.Stats
+	Table    flows.TableStats
+	// DNSResponses counts sniffed DNS responses carrying >= 1 address.
+	DNSResponses uint64
+	// DNSResponsesEmpty counts responses with no usable address records.
+	DNSResponsesEmpty uint64
+	// DNSMalformed counts UDP/53 payloads that failed to parse.
+	DNSMalformed uint64
+	// UsedEntries counts resolver entries that labeled at least one flow;
+	// DNSResponses - UsedEntries approximates the paper's "useless DNS"
+	// (Table 9).
+	UsedEntries uint64
+	// Flows counts labeled-flow records emitted.
+	Flows uint64
+	// LabeledFlows counts records that carried a label.
+	LabeledFlows uint64
+}
+
+// UselessDNSFraction returns the fraction of address-bearing DNS responses
+// never followed by a flow (Table 9).
+func (s Stats) UselessDNSFraction() float64 {
+	if s.DNSResponses == 0 {
+		return 0
+	}
+	return 1 - float64(s.UsedEntries)/float64(s.DNSResponses)
+}
+
+// tag is the pending label attached when a flow begins.
+type tag struct {
+	label    string
+	hit      bool
+	preFlow  bool
+	dnsAt    time.Duration
+	firstUse bool
+}
+
+// DNHunter is one assembled pipeline instance. Not safe for concurrent use.
+type DNHunter struct {
+	cfg     Config
+	res     *resolver.Resolver
+	table   *flows.Table
+	db      *flowdb.DB
+	parser  layers.Parser
+	dnsMsg  dnswire.Message
+	pending map[flows.Key]tag
+	stats   Stats
+	now     time.Duration
+}
+
+// New assembles a pipeline from cfg.
+func New(cfg Config) *DNHunter {
+	h := &DNHunter{
+		cfg:     cfg,
+		res:     resolver.New(cfg.Resolver),
+		db:      cfg.DB,
+		pending: make(map[flows.Key]tag),
+	}
+	if h.db == nil {
+		h.db = flowdb.New()
+	}
+	fcfg := cfg.Flows
+	fcfg.OnRecord = h.onRecord
+	h.table = flows.NewTable(fcfg)
+	return h
+}
+
+// DB returns the labeled flows database.
+func (h *DNHunter) DB() *flowdb.DB { return h.db }
+
+// Resolver exposes the cache replica (for diagnostics and experiments).
+func (h *DNHunter) Resolver() *resolver.Resolver { return h.res }
+
+// Stats snapshots the pipeline counters.
+func (h *DNHunter) Stats() Stats {
+	s := h.stats
+	s.Parser = h.parser.Stats
+	s.Resolver = h.res.Stats()
+	s.Table = h.table.Stats()
+	return s
+}
+
+// Run drains the packet source through the pipeline and flushes remaining
+// flows at EOF.
+func (h *DNHunter) Run(src netio.PacketSource) error {
+	for {
+		pkt, err := src.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		h.HandlePacket(pkt)
+	}
+	h.Close()
+	return nil
+}
+
+// HandlePacket feeds one packet through the pipeline (streaming use).
+func (h *DNHunter) HandlePacket(pkt netio.Packet) {
+	h.now = pkt.Timestamp
+	info, err := h.parser.Parse(pkt.Data)
+	if err != nil {
+		// Malformed and unhandled frames are counted by the parser.
+		return
+	}
+	if info.HasUDP && (info.SrcPort == 53 || info.DstPort == 53) {
+		h.handleDNS(info, pkt.Timestamp)
+		return
+	}
+	h.table.Add(info, pkt.Timestamp, h.onNewFlow)
+}
+
+// Close flushes all in-flight flows (end of capture).
+func (h *DNHunter) Close() {
+	h.table.FlushAll()
+}
+
+// handleDNS decodes a DNS payload and inserts responses into the resolver.
+func (h *DNHunter) handleDNS(info *layers.Decoded, at time.Duration) {
+	if err := h.dnsMsg.Unpack(info.Payload); err != nil {
+		h.stats.DNSMalformed++
+		return
+	}
+	if !h.dnsMsg.Header.Response {
+		return // queries carry no answer list
+	}
+	fqdn := h.dnsMsg.QueriedName()
+	addrs := h.dnsMsg.AnswerAddrs()
+	if fqdn == "" || len(addrs) == 0 {
+		h.stats.DNSResponsesEmpty++
+		return
+	}
+	// The response travels server -> client: the monitored client is the
+	// destination address.
+	client := info.DstIP
+	h.stats.DNSResponses++
+	h.res.Insert(client, fqdn, addrs, at)
+	if h.cfg.OnDNSResponse != nil {
+		h.cfg.OnDNSResponse(DNSEvent{At: at, Client: client, FQDN: fqdn, NumAddrs: len(addrs)})
+	}
+}
+
+// onNewFlow is the pre-flow tagging hook: label the 5-tuple the moment its
+// first packet appears.
+func (h *DNHunter) onNewFlow(key flows.Key, at time.Duration, sawSYN bool) {
+	var tg tag
+	if e, ok := h.res.LookupEntry(key.ClientIP, key.ServerIP); ok {
+		tg = tag{label: e.FQDN, hit: true, preFlow: sawSYN, dnsAt: e.At}
+		if !e.Used {
+			e.Used = true
+			tg.firstUse = true
+			h.stats.UsedEntries++
+		}
+	}
+	h.pending[key] = tg
+	if h.cfg.OnTag != nil {
+		h.cfg.OnTag(TagEvent{
+			Key: key, At: at, Label: tg.label, Hit: tg.hit, SYN: sawSYN,
+			PreDNS: at - tg.dnsAt,
+		})
+	}
+}
+
+// onRecord receives finished flows from the table and emits labeled flows.
+func (h *DNHunter) onRecord(r flows.Record) {
+	tg := h.pending[r.Key]
+	delete(h.pending, r.Key)
+	lf := flowdb.LabeledFlow{
+		Record:  r,
+		Label:   tg.label,
+		Labeled: tg.hit,
+		PreFlow: tg.preFlow,
+	}
+	if tg.hit {
+		lf.DNSDelay = r.Start - tg.dnsAt
+		lf.FirstAfterDNS = tg.firstUse
+	}
+	if h.cfg.Truth != nil {
+		lf.Truth = h.cfg.Truth(r.Key)
+	}
+	h.stats.Flows++
+	if tg.hit {
+		h.stats.LabeledFlows++
+	}
+	h.db.Add(lf)
+}
+
+// ErrStopped is returned by streaming helpers when a consumer aborts.
+var ErrStopped = errors.New("core: stopped")

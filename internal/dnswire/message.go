@@ -1,0 +1,415 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// RR types understood by the codec.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeSRV   Type = 33
+	TypeANY   Type = 255
+)
+
+// String names the common types.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeSRV:
+		return "SRV"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class; only IN matters in practice.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes used by this codebase.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+)
+
+// Header is the fixed 12-byte DNS header.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is one entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// Record is one resource record. Exactly one of the typed RDATA fields is
+// meaningful depending on Type; unknown types round-trip through Data.
+type Record struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	// A / AAAA
+	Addr netip.Addr
+	// CNAME / NS / PTR target
+	Target string
+	// MX
+	Pref uint16
+	// TXT
+	TXT []string
+	// SRV
+	Priority, Weight, Port uint16
+	// Data carries RDATA verbatim for types the codec does not model.
+	Data []byte
+}
+
+// Message is a whole DNS message.
+type Message struct {
+	Header      Header
+	Questions   []Question
+	Answers     []Record
+	Authorities []Record
+	Additionals []Record
+}
+
+// TTLDuration converts an RR TTL to a duration.
+func TTLDuration(ttl uint32) time.Duration { return time.Duration(ttl) * time.Second }
+
+// Pack serializes the message with name compression, appending to buf
+// (which may be nil).
+func (m *Message) Pack(buf []byte) ([]byte, error) {
+	start := len(buf)
+	table := make(map[string]int, 8)
+	buf = append(buf, make([]byte, 12)...)
+	hdr := buf[start : start+12]
+	binary.BigEndian.PutUint16(hdr[0:2], m.Header.ID)
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xf) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xf)
+	binary.BigEndian.PutUint16(hdr[2:4], flags)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(hdr[8:10], uint16(len(m.Authorities)))
+	binary.BigEndian.PutUint16(hdr[10:12], uint16(len(m.Additionals)))
+
+	var err error
+	for _, q := range m.Questions {
+		buf, err = appendName(buf, strings.ToLower(q.Name), table)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
+		for i := range sec {
+			buf, err = appendRecord(buf, &sec[i], table)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRecord(buf []byte, r *Record, table map[string]int) ([]byte, error) {
+	var err error
+	buf, err = appendName(buf, strings.ToLower(r.Name), table)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Type))
+	class := r.Class
+	if class == 0 {
+		class = ClassIN
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(class))
+	buf = binary.BigEndian.AppendUint32(buf, r.TTL)
+	// Reserve the RDLENGTH slot, then write RDATA and patch.
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	switch r.Type {
+	case TypeA:
+		if !r.Addr.Is4() {
+			return nil, fmt.Errorf("%w: A record with non-IPv4 address %v", ErrBadRecord, r.Addr)
+		}
+		a := r.Addr.As4()
+		buf = append(buf, a[:]...)
+	case TypeAAAA:
+		if !r.Addr.Is6() || r.Addr.Is4In6() {
+			return nil, fmt.Errorf("%w: AAAA record with non-IPv6 address %v", ErrBadRecord, r.Addr)
+		}
+		a := r.Addr.As16()
+		buf = append(buf, a[:]...)
+	case TypeCNAME, TypeNS, TypePTR:
+		// Targets are eligible for compression.
+		buf, err = appendName(buf, strings.ToLower(r.Target), table)
+		if err != nil {
+			return nil, err
+		}
+	case TypeMX:
+		buf = binary.BigEndian.AppendUint16(buf, r.Pref)
+		buf, err = appendName(buf, strings.ToLower(r.Target), table)
+		if err != nil {
+			return nil, err
+		}
+	case TypeTXT:
+		for _, s := range r.TXT {
+			if len(s) > 255 {
+				return nil, fmt.Errorf("%w: TXT chunk too long", ErrBadRecord)
+			}
+			buf = append(buf, byte(len(s)))
+			buf = append(buf, s...)
+		}
+	case TypeSRV:
+		buf = binary.BigEndian.AppendUint16(buf, r.Priority)
+		buf = binary.BigEndian.AppendUint16(buf, r.Weight)
+		buf = binary.BigEndian.AppendUint16(buf, r.Port)
+		// RFC 2782: SRV target must not be compressed.
+		buf, err = appendName(buf, strings.ToLower(r.Target), nil)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		buf = append(buf, r.Data...)
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xffff {
+		return nil, fmt.Errorf("%w: RDATA too long", ErrBadRecord)
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:lenAt+2], uint16(rdlen))
+	return buf, nil
+}
+
+// Unpack parses a whole DNS message.
+func (m *Message) Unpack(msg []byte) error {
+	if len(msg) < 12 {
+		return fmt.Errorf("%w: %d bytes", ErrTruncatedMsg, len(msg))
+	}
+	m.Header.ID = binary.BigEndian.Uint16(msg[0:2])
+	flags := binary.BigEndian.Uint16(msg[2:4])
+	m.Header.Response = flags&(1<<15) != 0
+	m.Header.Opcode = uint8(flags >> 11 & 0xf)
+	m.Header.Authoritative = flags&(1<<10) != 0
+	m.Header.Truncated = flags&(1<<9) != 0
+	m.Header.RecursionDesired = flags&(1<<8) != 0
+	m.Header.RecursionAvailable = flags&(1<<7) != 0
+	m.Header.RCode = RCode(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(msg[4:6]))
+	an := int(binary.BigEndian.Uint16(msg[6:8]))
+	ns := int(binary.BigEndian.Uint16(msg[8:10]))
+	ar := int(binary.BigEndian.Uint16(msg[10:12]))
+
+	off := 12
+	m.Questions = m.Questions[:0]
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = readName(msg, off)
+		if err != nil {
+			return err
+		}
+		if off+4 > len(msg) {
+			return fmt.Errorf("%w: question fixed part", ErrTruncatedMsg)
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off : off+2]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2 : off+4]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	m.Answers, off, err = readRecords(msg, off, an, m.Answers[:0])
+	if err != nil {
+		return err
+	}
+	m.Authorities, off, err = readRecords(msg, off, ns, m.Authorities[:0])
+	if err != nil {
+		return err
+	}
+	m.Additionals, _, err = readRecords(msg, off, ar, m.Additionals[:0])
+	return err
+}
+
+func readRecords(msg []byte, off, n int, dst []Record) ([]Record, int, error) {
+	var err error
+	for i := 0; i < n; i++ {
+		var r Record
+		r.Name, off, err = readName(msg, off)
+		if err != nil {
+			return dst, off, err
+		}
+		if off+10 > len(msg) {
+			return dst, off, fmt.Errorf("%w: RR fixed part", ErrTruncatedMsg)
+		}
+		r.Type = Type(binary.BigEndian.Uint16(msg[off : off+2]))
+		r.Class = Class(binary.BigEndian.Uint16(msg[off+2 : off+4]))
+		r.TTL = binary.BigEndian.Uint32(msg[off+4 : off+8])
+		rdlen := int(binary.BigEndian.Uint16(msg[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(msg) {
+			return dst, off, fmt.Errorf("%w: RDATA", ErrTruncatedMsg)
+		}
+		rdata := msg[off : off+rdlen]
+		switch r.Type {
+		case TypeA:
+			if rdlen != 4 {
+				return dst, off, fmt.Errorf("%w: A RDLENGTH %d", ErrBadRecord, rdlen)
+			}
+			var a [4]byte
+			copy(a[:], rdata)
+			r.Addr = netip.AddrFrom4(a)
+		case TypeAAAA:
+			if rdlen != 16 {
+				return dst, off, fmt.Errorf("%w: AAAA RDLENGTH %d", ErrBadRecord, rdlen)
+			}
+			var a [16]byte
+			copy(a[:], rdata)
+			r.Addr = netip.AddrFrom16(a)
+		case TypeCNAME, TypeNS, TypePTR:
+			r.Target, _, err = readName(msg, off)
+			if err != nil {
+				return dst, off, err
+			}
+		case TypeMX:
+			if rdlen < 3 {
+				return dst, off, fmt.Errorf("%w: MX RDLENGTH %d", ErrBadRecord, rdlen)
+			}
+			r.Pref = binary.BigEndian.Uint16(rdata[0:2])
+			r.Target, _, err = readName(msg, off+2)
+			if err != nil {
+				return dst, off, err
+			}
+		case TypeTXT:
+			for p := 0; p < rdlen; {
+				l := int(rdata[p])
+				if p+1+l > rdlen {
+					return dst, off, fmt.Errorf("%w: TXT chunk", ErrBadRecord)
+				}
+				r.TXT = append(r.TXT, string(rdata[p+1:p+1+l]))
+				p += 1 + l
+			}
+		case TypeSRV:
+			if rdlen < 7 {
+				return dst, off, fmt.Errorf("%w: SRV RDLENGTH %d", ErrBadRecord, rdlen)
+			}
+			r.Priority = binary.BigEndian.Uint16(rdata[0:2])
+			r.Weight = binary.BigEndian.Uint16(rdata[2:4])
+			r.Port = binary.BigEndian.Uint16(rdata[4:6])
+			r.Target, _, err = readName(msg, off+6)
+			if err != nil {
+				return dst, off, err
+			}
+		default:
+			r.Data = append([]byte(nil), rdata...)
+		}
+		off += rdlen
+		dst = append(dst, r)
+	}
+	return dst, off, nil
+}
+
+// AnswerAddrs returns the A/AAAA addresses in the answer section, following
+// the common CDN pattern where CNAME chains terminate in address records.
+// This is exactly the "answer list" the paper's DNS Resolver stores.
+func (m *Message) AnswerAddrs() []netip.Addr {
+	var out []netip.Addr
+	for _, r := range m.Answers {
+		if (r.Type == TypeA || r.Type == TypeAAAA) && r.Addr.IsValid() {
+			out = append(out, r.Addr)
+		}
+	}
+	return out
+}
+
+// QueriedName returns the lowercased name of the first question, or "".
+func (m *Message) QueriedName() string {
+	if len(m.Questions) == 0 {
+		return ""
+	}
+	return strings.ToLower(m.Questions[0].Name)
+}
+
+// NewResponse builds a response for the single question (name, qtype) with
+// the given answer records, the usual shape the synthesizer's LDNS emits.
+func NewResponse(id uint16, name string, qtype Type, answers []Record) *Message {
+	return &Message{
+		Header: Header{
+			ID:                 id,
+			Response:           true,
+			RecursionDesired:   true,
+			RecursionAvailable: true,
+		},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+		Answers:   answers,
+	}
+}
+
+// NewQuery builds a recursive query for (name, qtype).
+func NewQuery(id uint16, name string, qtype Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}

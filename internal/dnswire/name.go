@@ -1,0 +1,118 @@
+// Package dnswire implements the DNS wire protocol (RFC 1035): message
+// header, questions, and resource records with label compression on both
+// encode and decode paths. It is the substrate under DN-Hunter's DNS
+// response sniffer and the synthesizer's DNS server model.
+//
+// The codec is strict where the sniffer needs it to be (bounds, pointer
+// loops, label limits) and tolerant elsewhere: unknown RR types are carried
+// as opaque RDATA so a capture with exotic records still parses.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Limits from RFC 1035 §2.3.4.
+const (
+	maxLabelLen = 63
+	maxNameLen  = 255
+)
+
+// Errors returned by the codec.
+var (
+	ErrTruncatedMsg = errors.New("dnswire: truncated message")
+	ErrBadName      = errors.New("dnswire: malformed name")
+	ErrPointerLoop  = errors.New("dnswire: compression pointer loop")
+	ErrBadRecord    = errors.New("dnswire: malformed resource record")
+)
+
+// appendName encodes a dotted name at the end of msg, using and updating the
+// compression table (suffix -> offset of its first occurrence). The table
+// may be nil to disable compression.
+func appendName(msg []byte, name string, table map[string]int) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(msg, 0), nil
+	}
+	if len(name) > maxNameLen-2 {
+		return msg, fmt.Errorf("%w: name too long (%d)", ErrBadName, len(name))
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if table != nil {
+			if off, ok := table[suffix]; ok && off < 0x3fff {
+				// Emit a pointer to the earlier occurrence and stop.
+				return append(msg, 0xc0|byte(off>>8), byte(off)), nil
+			}
+			if len(msg) < 0x3fff {
+				table[suffix] = len(msg)
+			}
+		}
+		label := labels[i]
+		if label == "" || len(label) > maxLabelLen {
+			return msg, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		msg = append(msg, byte(len(label)))
+		msg = append(msg, label...)
+	}
+	return append(msg, 0), nil
+}
+
+// readName decodes a possibly compressed name starting at off in msg. It
+// returns the name in lowercase dotted form (no trailing dot) and the offset
+// just past the name's representation at the call site (pointers do not
+// advance the caller's cursor beyond the 2-byte pointer itself).
+func readName(msg []byte, off int) (string, int, error) {
+	var b strings.Builder
+	cursor := off
+	end := -1 // caller-visible end, set at the first pointer
+	hops := 0
+	total := 0
+	for {
+		if cursor >= len(msg) {
+			return "", 0, fmt.Errorf("%w: name runs past message", ErrTruncatedMsg)
+		}
+		c := msg[cursor]
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = cursor + 1
+			}
+			return strings.ToLower(b.String()), end, nil
+		case c&0xc0 == 0xc0:
+			if cursor+1 >= len(msg) {
+				return "", 0, fmt.Errorf("%w: dangling pointer", ErrTruncatedMsg)
+			}
+			ptr := int(c&0x3f)<<8 | int(msg[cursor+1])
+			if end < 0 {
+				end = cursor + 2
+			}
+			hops++
+			if hops > 32 || ptr >= cursor {
+				// Forward or excessive pointers indicate a loop or garbage;
+				// RFC-compliant compression only points backwards.
+				return "", 0, ErrPointerLoop
+			}
+			cursor = ptr
+		case c&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type %#02x", ErrBadName, c&0xc0)
+		default:
+			l := int(c)
+			if cursor+1+l > len(msg) {
+				return "", 0, fmt.Errorf("%w: label runs past message", ErrTruncatedMsg)
+			}
+			total += l + 1
+			if total > maxNameLen {
+				return "", 0, fmt.Errorf("%w: name exceeds %d bytes", ErrBadName, maxNameLen)
+			}
+			if b.Len() > 0 {
+				b.WriteByte('.')
+			}
+			b.Write(msg[cursor+1 : cursor+1+l])
+			cursor += 1 + l
+		}
+	}
+}

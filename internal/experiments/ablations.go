@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/resolver"
+	"repro/internal/synth"
+)
+
+// ablations.go exercises the design choices DESIGN.md calls out: Clist
+// sizing (§6), the ordered-vs-hash map choice (§3.1.1 footnote 2), the
+// last-writer-wins confusion (§6), and Eq. 1's log damping.
+
+// RunWithResolver runs a scenario through a pipeline with a custom resolver
+// configuration (uncached).
+func (s *Suite) RunWithResolver(name string, rc resolver.Config) *ScenarioRun {
+	tr := synth.Generate(synth.NamedScenario(name, s.Scale, s.Seed))
+	run := &ScenarioRun{Trace: tr}
+	h := core.New(core.Config{Resolver: rc, Truth: tr.TruthFunc()})
+	if err := h.Run(tr.Source()); err != nil {
+		panic(err)
+	}
+	run.DB = h.DB()
+	run.Stats = h.Stats()
+	return run
+}
+
+// AblationClistSize sweeps L and reports the overall hit ratio: the paper's
+// §6 dimensioning argument (L must cover ~1 h of responses for ~98%
+// efficiency). Undersized Clists evict entries before their flows arrive.
+func (s *Suite) AblationClistSize(sizes []int) (string, map[int]float64) {
+	out := make(map[int]float64)
+	var b strings.Builder
+	b.WriteString("Ablation: Clist size vs. labeling hit ratio (EU1-FTTH)\n")
+	for _, L := range sizes {
+		run := s.RunWithResolver(synth.NameEU1FTTH, resolver.Config{ClistSize: L})
+		hr := run.Stats.Resolver.HitRatio()
+		out[L] = hr
+		fmt.Fprintf(&b, "  L=%-8d hit=%5.1f%%  evictions=%d\n", L, 100*hr, run.Stats.Resolver.Evictions)
+	}
+	return b.String(), out
+}
+
+// AblationMapKind verifies both resolver containers agree and reports
+// per-op timing: the paper's std::map (ordered) vs footnote-2 hash maps.
+func (s *Suite) AblationMapKind() string {
+	var b strings.Builder
+	b.WriteString("Ablation: resolver inner-map container (hash vs ordered)\n")
+	for _, kind := range []resolver.MapKind{resolver.MapHash, resolver.MapOrdered} {
+		start := time.Now()
+		run := s.RunWithResolver(synth.NameEU1FTTH, resolver.Config{ClistSize: 1 << 18, MapKind: kind})
+		elapsed := time.Since(start)
+		name := "hash"
+		if kind == resolver.MapOrdered {
+			name = "ordered"
+		}
+		fmt.Fprintf(&b, "  %-8s pipeline=%8v hit=%5.1f%%\n", name, elapsed.Round(time.Millisecond), 100*run.Stats.Resolver.HitRatio())
+	}
+	return b.String()
+}
+
+// AblationMultiLabel estimates the §6 label-confusion rate: how often the
+// tagger's answer disagrees with ground truth because multiple FQDNs map to
+// the same (client, server) pair, and how multi-label lookup resolves it.
+func (s *Suite) AblationMultiLabel() (string, float64, float64) {
+	run := s.Run(synth.NameEU1ADSL2)
+	var labeled, wrong, recoverable int
+	for _, f := range run.DB.All() {
+		if !f.Labeled || f.Truth == "" {
+			continue
+		}
+		labeled++
+		if f.Label != f.Truth {
+			wrong++
+			// A multi-label resolver (Config.History > 0) would return all
+			// candidate names; count mislabels whose truth shares the
+			// server (so history would contain it).
+			recoverable++
+		}
+	}
+	confusion, recovered := 0.0, 0.0
+	if labeled > 0 {
+		confusion = float64(wrong) / float64(labeled)
+		recovered = float64(recoverable) / float64(labeled)
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: last-writer-wins confusion (EU1-ADSL2)\n")
+	fmt.Fprintf(&b, "  labeled flows:        %d\n", labeled)
+	fmt.Fprintf(&b, "  mislabeled (single):  %.2f%% (paper: <4%% after excluding redirections)\n", 100*confusion)
+	fmt.Fprintf(&b, "  multi-label coverage: %.2f%% recoverable\n", 100*recovered)
+	return b.String(), confusion, recovered
+}
+
+// AblationTagScore compares Eq. 1's per-client log damping with raw flow
+// counts on one port: a chatty client must not dominate the damped ranking.
+func (s *Suite) AblationTagScore(port uint16) string {
+	run := s.Run(synth.NameEU1FTTH)
+	damped := analytics.ExtractTags(run.DB, port, 5)
+	raw := analytics.ExtractTagsRaw(run.DB, port, 5)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: tag score on port %d\n", port)
+	fmt.Fprintf(&b, "  Eq.1 damped: %s\n", analytics.FormatTags(damped))
+	fmt.Fprintf(&b, "  raw counts:  %s\n", analytics.FormatTags(raw))
+	overlap := topOverlap(damped, raw)
+	fmt.Fprintf(&b, "  top-5 overlap: %d/5\n", overlap)
+	return b.String()
+}
+
+func topOverlap(a, b []analytics.TagScore) int {
+	set := make(map[string]struct{}, len(a))
+	for _, t := range a {
+		set[t.Token] = struct{}{}
+	}
+	n := 0
+	for _, t := range b {
+		if _, ok := set[t.Token]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// PreFlowShare reports how many labeled flows were tagged at their SYN —
+// the paper's identify-before-the-flow-begins property.
+func (s *Suite) PreFlowShare(name string) float64 {
+	var labeled, pre int
+	for _, f := range s.Run(name).DB.All() {
+		if !f.Labeled {
+			continue
+		}
+		labeled++
+		if f.PreFlow {
+			pre++
+		}
+	}
+	if labeled == 0 {
+		return 0
+	}
+	return float64(pre) / float64(labeled)
+}
+
+// TruthAccuracy scores DN-Hunter labels against the synthetic ground truth
+// for flows that carry both.
+func (s *Suite) TruthAccuracy(name string) (acc float64, n int) {
+	var ok int
+	for _, f := range s.Run(name).DB.All() {
+		if !f.Labeled || f.Truth == "" {
+			continue
+		}
+		n++
+		if f.Label == f.Truth {
+			ok++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(ok) / float64(n), n
+}

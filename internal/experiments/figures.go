@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func newRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }
+
+// Figure3 reproduces the fan-out CDFs: serverIPs per FQDN and FQDNs per
+// serverIP (EU2-ADSL).
+func (s *Suite) Figure3() (string, float64, float64) {
+	db := s.Run(synth.NameEU2ADSL).DB
+	ips, fqdns := analytics.FanoutCDFs(db)
+	fqdnSingle, ipSingle := analytics.SingletonShares(db)
+	var b strings.Builder
+	b.WriteString("Figure 3: FQDN <-> serverIP fan-out (EU2-ADSL)\n")
+	fmt.Fprintf(&b, "  FQDNs served by exactly one IP: %.0f%% (paper: 82%%)\n", 100*fqdnSingle)
+	fmt.Fprintf(&b, "  IPs serving exactly one FQDN:  %.0f%% (paper: 73%%)\n", 100*ipSingle)
+	b.WriteString("  CDF(#IP per FQDN):\n")
+	for _, x := range []float64{1, 2, 10, 100} {
+		fmt.Fprintf(&b, "    <=%4.0f: %.3f\n", x, ips.At(x))
+	}
+	b.WriteString("  CDF(#FQDN per IP):\n")
+	for _, x := range []float64{1, 2, 10, 100} {
+		fmt.Fprintf(&b, "    <=%4.0f: %.3f\n", x, fqdns.At(x))
+	}
+	return b.String(), fqdnSingle, ipSingle
+}
+
+// Figure4SLDs are the second-level domains plotted in Fig. 4.
+var Figure4SLDs = []string{"twitter.com", "youtube.com", "fbcdn.net", "facebook.com", "blogspot.com"}
+
+// Figure4 reproduces the per-SLD server pool time series (EU1-ADSL2, 10-min
+// bins).
+func (s *Suite) Figure4() (string, map[string][]int) {
+	db := s.Run(synth.NameEU1ADSL2).DB
+	series := analytics.ServerTimeseries(db, Figure4SLDs, 10*time.Minute)
+	var b strings.Builder
+	b.WriteString("Figure 4: distinct serverIPs per 2nd-level domain, 10-min bins (EU1-ADSL2)\n")
+	for _, sld := range Figure4SLDs {
+		vals := toFloats(series[sld])
+		fmt.Fprintf(&b, "  %-14s max=%4.0f  %s\n", sld, maxF(vals), stats.Sparkline(vals))
+	}
+	return b.String(), series
+}
+
+// Figure5Orgs are the hosting orgs plotted in Fig. 5.
+var Figure5Orgs = []string{"akamai", "amazon", "google", "level 3", "leaseweb", "cotendo", "edgecast", "microsoft"}
+
+// Figure5 reproduces the per-CDN active FQDN time series.
+func (s *Suite) Figure5() (string, map[string][]int) {
+	run := s.Run(synth.NameEU1ADSL2)
+	series := analytics.CDNTimeseries(run.DB, run.Trace.OrgDB, Figure5Orgs, 10*time.Minute)
+	var b strings.Builder
+	b.WriteString("Figure 5: distinct FQDNs served per CDN, 10-min bins (EU1-ADSL2)\n")
+	for _, org := range Figure5Orgs {
+		vals := toFloats(series[org])
+		fmt.Fprintf(&b, "  %-10s max=%4.0f  %s\n", org, maxF(vals), stats.Sparkline(vals))
+	}
+	return b.String(), series
+}
+
+// Figure6 reproduces the unique FQDN / SLD / serverIP birth processes over
+// the live window.
+func (s *Suite) Figure6() (string, *analytics.BirthSeries) {
+	bs := analytics.BirthProcess(s.Live(), 4*time.Hour)
+	var b strings.Builder
+	n := len(bs.FQDN)
+	b.WriteString("Figure 6: unique-entity birth processes (event-mode live trace)\n")
+	fmt.Fprintf(&b, "  final: FQDN=%d  SLD=%d  serverIP=%d\n", bs.FQDN[n-1], bs.SLD[n-1], bs.Server[n-1])
+	fmt.Fprintf(&b, "  late/early growth ratio: FQDN=%.2f  SLD=%.2f  serverIP=%.2f\n",
+		bs.GrowthRatio(bs.FQDN), bs.GrowthRatio(bs.SLD), bs.GrowthRatio(bs.Server))
+	fmt.Fprintf(&b, "  FQDN   %s\n", stats.Sparkline(toFloats(bs.FQDN)))
+	fmt.Fprintf(&b, "  SLD    %s\n", stats.Sparkline(toFloats(bs.SLD)))
+	fmt.Fprintf(&b, "  server %s\n", stats.Sparkline(toFloats(bs.Server)))
+	return b.String(), bs
+}
+
+// Figure7 renders the linkedin.com domain-structure tree (US-3G).
+func (s *Suite) Figure7() (string, *analytics.TreeNode) {
+	run := s.Run(synth.NameUS3G)
+	tree := analytics.DomainTree(run.DB, run.Trace.OrgDB, "linkedin.com")
+	return "Figure 7: linkedin.com domain structure (US-3G)\n" + tree.Render(), tree
+}
+
+// Figure8 renders the zynga.com domain-structure tree (US-3G).
+func (s *Suite) Figure8() (string, *analytics.TreeNode) {
+	run := s.Run(synth.NameUS3G)
+	tree := analytics.DomainTree(run.DB, run.Trace.OrgDB, "zynga.com")
+	return "Figure 8: zynga.com domain structure (US-3G)\n" + tree.Render(), tree
+}
+
+// Figure9SLDs lists the content orgs of Fig. 9 with their self-hosting
+// provider names.
+var Figure9SLDs = map[string]string{
+	"facebook.com":    "facebook",
+	"twitter.com":     "twitter",
+	"dailymotion.com": "dailymotion",
+}
+
+// Figure9 reproduces the org × CDN access heat maps across three vantage
+// points.
+func (s *Suite) Figure9() (string, map[string]*analytics.Heatmap) {
+	traces := []string{synth.NameEU1ADSL1, synth.NameUS3G, synth.NameEU2ADSL}
+	out := make(map[string]*analytics.Heatmap)
+	var b strings.Builder
+	b.WriteString("Figure 9: organizations served by CDNs per vantage point\n")
+	var slds []string
+	for sld := range Figure9SLDs {
+		slds = append(slds, sld)
+	}
+	sort.Strings(slds)
+	for _, sld := range slds {
+		per := make(map[string]*analytics.SpatialResult)
+		for _, tn := range traces {
+			run := s.Run(tn)
+			per[tn] = analytics.SpatialDiscovery(run.DB, run.Trace.OrgDB, sld)
+		}
+		h := analytics.BuildHeatmap(sld, Figure9SLDs[sld], per)
+		out[sld] = h
+		b.WriteString(h.Render())
+		b.WriteByte('\n')
+	}
+	return b.String(), out
+}
+
+// Figure10 renders the appspot tag cloud.
+func (s *Suite) Figure10() (string, []analytics.TagScore) {
+	cloud := analytics.TagCloud(s.Live().Flows, "appspot.com", 15)
+	var b strings.Builder
+	b.WriteString("Figure 10: appspot.com service tag cloud (top 15)\n  ")
+	b.WriteString(analytics.FormatTags(cloud))
+	b.WriteByte('\n')
+	return b.String(), cloud
+}
+
+// Figure11 renders the tracker activity timeline.
+func (s *Suite) Figure11() (string, *analytics.AppspotReport) {
+	rep := analytics.AppspotTracking(s.Live(), 4*time.Hour)
+	var b strings.Builder
+	b.WriteString("Figure 11: BitTorrent trackers on appspot, activity per 4-h bin\n")
+	ids := make([]int, 0, len(rep.Timeline))
+	for id := range rep.Timeline {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	days := s.Live().Scenario.Days
+	nBins := days * 6
+	for _, id := range ids {
+		row := make([]byte, nBins)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, bin := range rep.Timeline[id] {
+			if bin < nBins {
+				row[bin] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "  %2d %s\n", id, row)
+	}
+	return b.String(), rep
+}
+
+// Figure12And13 reproduces the first-flow and any-flow delay CDFs for every
+// trace.
+func (s *Suite) Figure12And13() (string, map[string][2]*stats.CDF) {
+	out := make(map[string][2]*stats.CDF)
+	var b strings.Builder
+	b.WriteString("Figures 12/13: DNS-to-flow delay CDFs (seconds)\n")
+	fmt.Fprintf(&b, "  %-10s %18s %18s %18s\n", "Trace", "first<=1s", "first<=10s", "any<=3600s")
+	for _, name := range synth.ScenarioNames {
+		first, any := analytics.DelayCDFs(s.Run(name).DB)
+		out[name] = [2]*stats.CDF{first, any}
+		if first.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %17.0f%% %17.0f%% %17.0f%%\n",
+			name, 100*first.At(1), 100*first.At(10), 100*any.At(3600))
+	}
+	return b.String(), out
+}
+
+// Figure14 reproduces the DNS responses-per-10-minute series.
+func (s *Suite) Figure14() (string, map[string][]float64) {
+	out := make(map[string][]float64)
+	var b strings.Builder
+	b.WriteString("Figure 14: DNS responses per 10-min bin\n")
+	for _, name := range synth.ScenarioNames {
+		vals := analytics.DNSRate(s.Run(name).DNSTimes, 10*time.Minute)
+		out[name] = vals
+		fmt.Fprintf(&b, "  %-10s max=%6.0f  %s\n", name, maxF(vals), stats.Sparkline(vals))
+	}
+	return b.String(), out
+}
+
+func toFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func maxF(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,182 @@
+package flowdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/layers"
+)
+
+// csv.go serializes labeled flows so cmd/dnhunter can hand results to
+// cmd/analyzer (and to anything else that speaks CSV).
+
+var csvHeader = []string{
+	"start_ms", "end_ms", "client", "server", "cport", "sport", "proto",
+	"l7", "label", "labeled", "preflow", "dns_delay_ms", "first_after_dns",
+	"pkts_c2s", "pkts_s2c", "bytes_c2s", "bytes_s2c", "sni", "cert", "truth",
+}
+
+// WriteCSV writes the whole database as CSV with a header row.
+func (db *DB) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range db.recs {
+		f := &db.recs[i]
+		cert := ""
+		if len(f.CertNames) > 0 {
+			cert = f.CertNames[0]
+		}
+		rec := []string{
+			strconv.FormatInt(f.Start.Milliseconds(), 10),
+			strconv.FormatInt(f.End.Milliseconds(), 10),
+			f.Key.ClientIP.String(),
+			f.Key.ServerIP.String(),
+			strconv.Itoa(int(f.Key.ClientPort)),
+			strconv.Itoa(int(f.Key.ServerPort)),
+			strconv.Itoa(int(f.Key.Proto)),
+			f.L7.String(),
+			f.Label,
+			boolStr(f.Labeled),
+			boolStr(f.PreFlow),
+			strconv.FormatInt(f.DNSDelay.Milliseconds(), 10),
+			boolStr(f.FirstAfterDNS),
+			strconv.FormatUint(f.PktsC2S, 10),
+			strconv.FormatUint(f.PktsS2C, 10),
+			strconv.FormatUint(f.BytesC2S, 10),
+			strconv.FormatUint(f.BytesS2C, 10),
+			f.SNI,
+			cert,
+			f.Truth,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// ReadCSV loads a database written by WriteCSV.
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flowdb: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
+		return nil, fmt.Errorf("flowdb: unexpected CSV header %v", header)
+	}
+	db := New()
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return db, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		f, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("flowdb: line %d: %w", line, err)
+		}
+		db.Add(f)
+	}
+}
+
+func parseCSVRecord(rec []string) (LabeledFlow, error) {
+	var f LabeledFlow
+	ms := func(s string) (time.Duration, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		return time.Duration(v) * time.Millisecond, err
+	}
+	var err error
+	if f.Start, err = ms(rec[0]); err != nil {
+		return f, err
+	}
+	if f.End, err = ms(rec[1]); err != nil {
+		return f, err
+	}
+	client, err := netip.ParseAddr(rec[2])
+	if err != nil {
+		return f, err
+	}
+	server, err := netip.ParseAddr(rec[3])
+	if err != nil {
+		return f, err
+	}
+	cport, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return f, err
+	}
+	sport, err := strconv.Atoi(rec[5])
+	if err != nil {
+		return f, err
+	}
+	proto, err := strconv.Atoi(rec[6])
+	if err != nil {
+		return f, err
+	}
+	f.Key = flows.Key{
+		ClientIP: client, ServerIP: server,
+		ClientPort: uint16(cport), ServerPort: uint16(sport),
+		Proto: layers.IPProtocol(proto),
+	}
+	f.L7 = parseL7(rec[7])
+	f.Label = rec[8]
+	f.Labeled = rec[9] == "1"
+	f.PreFlow = rec[10] == "1"
+	if f.DNSDelay, err = ms(rec[11]); err != nil {
+		return f, err
+	}
+	f.FirstAfterDNS = rec[12] == "1"
+	if f.PktsC2S, err = strconv.ParseUint(rec[13], 10, 64); err != nil {
+		return f, err
+	}
+	if f.PktsS2C, err = strconv.ParseUint(rec[14], 10, 64); err != nil {
+		return f, err
+	}
+	if f.BytesC2S, err = strconv.ParseUint(rec[15], 10, 64); err != nil {
+		return f, err
+	}
+	if f.BytesS2C, err = strconv.ParseUint(rec[16], 10, 64); err != nil {
+		return f, err
+	}
+	f.SNI = rec[17]
+	if rec[18] != "" {
+		f.CertNames = []string{rec[18]}
+	}
+	f.Truth = rec[19]
+	return f, nil
+}
+
+func parseL7(s string) flows.L7Proto {
+	switch strings.ToUpper(s) {
+	case "HTTP":
+		return flows.L7HTTP
+	case "TLS":
+		return flows.L7TLS
+	case "P2P":
+		return flows.L7P2P
+	case "DNS":
+		return flows.L7DNS
+	default:
+		return flows.L7Unknown
+	}
+}

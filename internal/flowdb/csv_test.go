@@ -1,0 +1,91 @@
+package flowdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flows"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := New()
+	f1 := lf("www.example.com", "1.1.1.1", 443, flows.L7TLS, time.Second)
+	f1.PreFlow = true
+	f1.DNSDelay = 250 * time.Millisecond
+	f1.FirstAfterDNS = true
+	f1.BytesC2S, f1.BytesS2C = 1000, 2000
+	f1.PktsC2S, f1.PktsS2C = 5, 7
+	f1.SNI = "www.example.com"
+	f1.CertNames = []string{"*.example.com"}
+	f1.Truth = "www.example.com"
+	db.Add(f1)
+	db.Add(lf("", "9.9.9.9", 6881, flows.L7P2P, 2*time.Second))
+
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	g := got.At(0)
+	if g.Label != "www.example.com" || !g.Labeled || !g.PreFlow ||
+		g.DNSDelay != 250*time.Millisecond || !g.FirstAfterDNS {
+		t.Fatalf("flow 0 = %+v", g)
+	}
+	if g.Key != f1.Key || g.L7 != flows.L7TLS {
+		t.Fatalf("key/l7 = %v %v", g.Key, g.L7)
+	}
+	if g.BytesC2S != 1000 || g.PktsS2C != 7 {
+		t.Fatalf("counters = %+v", g)
+	}
+	if g.SNI != "www.example.com" || len(g.CertNames) != 1 || g.CertNames[0] != "*.example.com" {
+		t.Fatalf("tls fields = %+v", g)
+	}
+	if g.Truth != "www.example.com" {
+		t.Fatalf("truth = %q", g.Truth)
+	}
+	// Unlabeled flow stays unlabeled; indexes rebuilt.
+	if got.At(1).Labeled {
+		t.Fatal("flow 1 should be unlabeled")
+	}
+	if len(got.ByPort(443)) != 1 || len(got.BySLD("example.com")) != 1 {
+		t.Fatal("indexes not rebuilt")
+	}
+}
+
+func TestReadCSVBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReadCSVBadRow(t *testing.T) {
+	var buf bytes.Buffer
+	db := New()
+	db.Add(lf("a.x.com", "1.1.1.1", 80, flows.L7HTTP, 0))
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(buf.String(), "1.1.1.1", "not-an-ip", 1)
+	if _, err := ReadCSV(strings.NewReader(broken)); err == nil {
+		t.Fatal("expected error for bad address")
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadCSV(&buf)
+	if err != nil || db.Len() != 0 {
+		t.Fatalf("got %v %v", db.Len(), err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package flowdb stores the labeled flows DN-Hunter emits — the "Flow
+// Database" of the paper's architecture (Fig. 1) — and exposes the query
+// primitives the off-line analyzer needs: by FQDN, by second-level domain,
+// by server address, and by server port (Algorithms 2–4).
+package flowdb
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/stats"
+)
+
+// LabeledFlow is one flow with the FQDN label the tagger attached.
+type LabeledFlow struct {
+	flows.Record
+	// Label is the FQDN from the resolver; empty when the lookup missed.
+	Label string
+	// SLD is the second-level domain of Label (cached at insert).
+	SLD string
+	// Labeled reports whether the tagger hit the resolver cache.
+	Labeled bool
+	// PreFlow reports whether the label was available at the first packet
+	// (SYN) — the paper's identify-before-the-flow-begins property.
+	PreFlow bool
+	// DNSDelay is flow start minus the labeling DNS response time: the
+	// "first flow delay" when this is the first flow after the response.
+	DNSDelay time.Duration
+	// FirstAfterDNS marks the first flow following its DNS response
+	// (Fig. 12 measures exactly these).
+	FirstAfterDNS bool
+	// Truth is the ground-truth FQDN carried by synthetic traces in a
+	// sidecar; empty for real captures. Used only for scoring, never by
+	// the pipeline.
+	Truth string
+}
+
+// DB is an append-only labeled flow store with secondary indexes.
+// Not safe for concurrent use.
+type DB struct {
+	recs []LabeledFlow
+
+	byFQDN   map[string][]int
+	bySLD    map[string][]int
+	byServer map[netip.Addr][]int
+	byPort   map[uint16][]int
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		byFQDN:   make(map[string][]int),
+		bySLD:    make(map[string][]int),
+		byServer: make(map[netip.Addr][]int),
+		byPort:   make(map[uint16][]int),
+	}
+}
+
+// Add appends one labeled flow and maintains the indexes.
+func (db *DB) Add(f LabeledFlow) {
+	if f.Labeled && f.SLD == "" {
+		f.SLD = stats.SLD(f.Label)
+	}
+	idx := len(db.recs)
+	db.recs = append(db.recs, f)
+	if f.Labeled {
+		db.byFQDN[f.Label] = append(db.byFQDN[f.Label], idx)
+		db.bySLD[f.SLD] = append(db.bySLD[f.SLD], idx)
+	}
+	db.byServer[f.Key.ServerIP] = append(db.byServer[f.Key.ServerIP], idx)
+	db.byPort[f.Key.ServerPort] = append(db.byPort[f.Key.ServerPort], idx)
+}
+
+// Len returns the number of flows stored.
+func (db *DB) Len() int { return len(db.recs) }
+
+// All returns the backing slice of flows; callers must not mutate it.
+func (db *DB) All() []LabeledFlow { return db.recs }
+
+// At returns the i-th flow.
+func (db *DB) At(i int) *LabeledFlow { return &db.recs[i] }
+
+func (db *DB) gather(idxs []int) []*LabeledFlow {
+	out := make([]*LabeledFlow, len(idxs))
+	for i, idx := range idxs {
+		out[i] = &db.recs[idx]
+	}
+	return out
+}
+
+// ByFQDN returns flows labeled exactly fqdn.
+func (db *DB) ByFQDN(fqdn string) []*LabeledFlow { return db.gather(db.byFQDN[fqdn]) }
+
+// BySLD returns flows whose label belongs to the given second-level domain
+// (Algorithm 2's queryByDomainName on the organization).
+func (db *DB) BySLD(sld string) []*LabeledFlow { return db.gather(db.bySLD[sld]) }
+
+// ByServer returns flows to the given server address (Algorithm 3's query).
+func (db *DB) ByServer(addr netip.Addr) []*LabeledFlow { return db.gather(db.byServer[addr]) }
+
+// ByPort returns flows to the given server port (Algorithm 4's query).
+func (db *DB) ByPort(port uint16) []*LabeledFlow { return db.gather(db.byPort[port]) }
+
+// FQDNsOfSLD returns the distinct FQDNs labeled under sld, sorted.
+func (db *DB) FQDNsOfSLD(sld string) []string {
+	seen := make(map[string]struct{})
+	for _, idx := range db.bySLD[sld] {
+		seen[db.recs[idx].Label] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServersOfFQDN returns the distinct server addresses observed serving
+// fqdn, sorted.
+func (db *DB) ServersOfFQDN(fqdn string) []netip.Addr {
+	return distinctServers(db.recs, db.byFQDN[fqdn])
+}
+
+// ServersOfSLD returns the distinct server addresses serving any FQDN of
+// sld, sorted.
+func (db *DB) ServersOfSLD(sld string) []netip.Addr {
+	return distinctServers(db.recs, db.bySLD[sld])
+}
+
+func distinctServers(recs []LabeledFlow, idxs []int) []netip.Addr {
+	seen := make(map[netip.Addr]struct{})
+	for _, idx := range idxs {
+		seen[recs[idx].Key.ServerIP] = struct{}{}
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Servers returns every distinct server address in the database, sorted.
+func (db *DB) Servers() []netip.Addr {
+	out := make([]netip.Addr, 0, len(db.byServer))
+	for a := range db.byServer {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// FQDNs returns every distinct label in the database, sorted.
+func (db *DB) FQDNs() []string {
+	out := make([]string, 0, len(db.byFQDN))
+	for f := range db.byFQDN {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SLDs returns every distinct second-level domain, sorted.
+func (db *DB) SLDs() []string {
+	out := make([]string, 0, len(db.bySLD))
+	for s := range db.bySLD {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ports returns every distinct server port, sorted.
+func (db *DB) Ports() []uint16 {
+	out := make([]uint16, 0, len(db.byPort))
+	for p := range db.byPort {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LabelCoverage summarizes the hit ratio per L7 protocol — the measurement
+// behind Table 2.
+type LabelCoverage struct {
+	Total, Labeled map[flows.L7Proto]int
+}
+
+// Coverage computes per-protocol labeling coverage for flows starting at or
+// after warmup (the paper discards a 5-minute warm-up during which client
+// OS caches still hold entries sniffed before the trace began).
+func (db *DB) Coverage(warmup time.Duration) LabelCoverage {
+	cov := LabelCoverage{
+		Total:   make(map[flows.L7Proto]int),
+		Labeled: make(map[flows.L7Proto]int),
+	}
+	for i := range db.recs {
+		f := &db.recs[i]
+		if f.Start < warmup {
+			continue
+		}
+		cov.Total[f.L7]++
+		if f.Labeled {
+			cov.Labeled[f.L7]++
+		}
+	}
+	return cov
+}
+
+// Ratio returns the labeled fraction for one protocol, or 0 when unseen.
+func (c LabelCoverage) Ratio(p flows.L7Proto) float64 {
+	if c.Total[p] == 0 {
+		return 0
+	}
+	return float64(c.Labeled[p]) / float64(c.Total[p])
+}

@@ -1,0 +1,400 @@
+// Package flows reconstructs transport-layer flows from decoded packets:
+// the paper's "Flow Sniffer" (§3.1). Packets are aggregated on the 5-tuple
+// (clientIP, serverIP, sPort, dPort, protocol), oriented so the initiator is
+// the client, run through a compact TCP state machine, and classified at
+// layer 7 (HTTP, TLS, P2P) from the first payload bytes — the same signals
+// Tstat uses for the paper's ground truth.
+package flows
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/tlswire"
+)
+
+// Key identifies a flow, oriented client → server.
+type Key struct {
+	ClientIP   netip.Addr
+	ServerIP   netip.Addr
+	ClientPort uint16
+	ServerPort uint16
+	Proto      layers.IPProtocol
+}
+
+// String renders the key in a tcpdump-like form.
+func (k Key) String() string {
+	return fmt.Sprintf("%s %s:%d > %s:%d", k.Proto, k.ClientIP, k.ClientPort, k.ServerIP, k.ServerPort)
+}
+
+// Reverse returns the key with endpoints swapped.
+func (k Key) Reverse() Key {
+	return Key{
+		ClientIP: k.ServerIP, ServerIP: k.ClientIP,
+		ClientPort: k.ServerPort, ServerPort: k.ClientPort,
+		Proto: k.Proto,
+	}
+}
+
+// L7Proto is the coarse application classification the paper reports hit
+// ratios for (Table 2).
+type L7Proto uint8
+
+// Classification outcomes.
+const (
+	L7Unknown L7Proto = iota
+	L7HTTP
+	L7TLS
+	L7P2P
+	L7DNS
+)
+
+// String names the classification.
+func (p L7Proto) String() string {
+	switch p {
+	case L7HTTP:
+		return "HTTP"
+	case L7TLS:
+		return "TLS"
+	case L7P2P:
+		return "P2P"
+	case L7DNS:
+		return "DNS"
+	default:
+		return "OTHER"
+	}
+}
+
+// TCPState is the connection lifecycle state.
+type TCPState uint8
+
+// TCP states tracked by the table.
+const (
+	StateNew TCPState = iota
+	StateSynSent
+	StateEstablished
+	StateClosing
+	StateClosed
+	StateReset
+)
+
+// Record is one finished (or flushed) flow, the unit stored in the labeled
+// flows database.
+type Record struct {
+	Key        Key
+	Start, End time.Duration
+	// SawSYN reports whether the flow was observed from its first segment,
+	// which is when pre-flow tagging can act on it.
+	SawSYN bool
+	State  TCPState
+
+	PktsC2S, PktsS2C   uint64
+	BytesC2S, BytesS2C uint64
+
+	L7 L7Proto
+	// HTTPHost is the Host header of the first request, when L7 == HTTP.
+	HTTPHost string
+	// SNI is the TLS server_name, when present.
+	SNI string
+	// CertNames are subject names from the server Certificate message,
+	// leaf first; empty when no certificate was observed.
+	CertNames []string
+}
+
+// flow is the mutable in-table state.
+type flow struct {
+	rec        Record
+	c2sPrefix  []byte
+	s2cPrefix  []byte
+	classified bool
+	inspected  bool
+}
+
+// prefixCap bounds the per-direction payload prefix retained for
+// classification; enough for a ClientHello or an HTTP request head plus a
+// ServerHello+Certificate flight.
+const prefixCap = 4096
+
+// Config tunes the table.
+type Config struct {
+	// IdleTimeout evicts flows with no traffic for this long. Zero means
+	// the paper-style default of 5 minutes.
+	IdleTimeout time.Duration
+	// ClientNets orients flows when no SYN is seen: an address inside any
+	// of these prefixes is the client. Empty falls back to
+	// first-sender-is-client.
+	ClientNets []netip.Prefix
+	// OnRecord, when non-nil, receives each finished flow.
+	OnRecord func(Record)
+}
+
+// Table reconstructs flows. Not safe for concurrent use.
+type Table struct {
+	cfg    Config
+	flows  map[Key]*flow
+	stats  TableStats
+	sweep  time.Duration
+	frozen []Record // records kept when OnRecord is nil
+}
+
+// TableStats counts table activity.
+type TableStats struct {
+	FlowsCreated uint64
+	FlowsClosed  uint64
+	FlowsExpired uint64
+	Packets      uint64
+}
+
+// NewTable creates a flow table.
+func NewTable(cfg Config) *Table {
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	return &Table{cfg: cfg, flows: make(map[Key]*flow)}
+}
+
+// Stats returns the accumulated counters.
+func (t *Table) Stats() TableStats { return t.stats }
+
+// Active returns the number of in-flight flows.
+func (t *Table) Active() int { return len(t.flows) }
+
+func (t *Table) isClientAddr(a netip.Addr) bool {
+	for _, p := range t.cfg.ClientNets {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// orient decides the flow key and direction for a decoded packet.
+// It returns the canonical key and whether this packet travels c2s.
+func (t *Table) orient(d *layers.Decoded) (Key, bool) {
+	fwd := Key{
+		ClientIP: d.SrcIP, ServerIP: d.DstIP,
+		ClientPort: d.SrcPort, ServerPort: d.DstPort,
+		Proto: d.Proto,
+	}
+	// An existing entry in either orientation wins.
+	if _, ok := t.flows[fwd]; ok {
+		return fwd, true
+	}
+	rev := fwd.Reverse()
+	if _, ok := t.flows[rev]; ok {
+		return rev, false
+	}
+	// New flow: a pure SYN marks the sender as client; otherwise prefer the
+	// configured client networks; otherwise first sender is client.
+	if d.HasTCP && d.TCPFlags.Has(layers.TCPSyn) && !d.TCPFlags.Has(layers.TCPAck) {
+		return fwd, true
+	}
+	if len(t.cfg.ClientNets) > 0 {
+		if t.isClientAddr(d.SrcIP) && !t.isClientAddr(d.DstIP) {
+			return fwd, true
+		}
+		if t.isClientAddr(d.DstIP) && !t.isClientAddr(d.SrcIP) {
+			return rev, false
+		}
+	}
+	return fwd, true
+}
+
+// NewFlowFunc is invoked by Add when a flow is first seen; the paper's
+// pre-flow tagging hook (label available before any payload byte).
+type NewFlowFunc func(key Key, at time.Duration, sawSYN bool)
+
+// Add processes one decoded packet at the given trace offset. onNew, when
+// non-nil, fires for the first packet of every flow.
+func (t *Table) Add(d *layers.Decoded, at time.Duration, onNew NewFlowFunc) {
+	if !d.HasTCP && !d.HasUDP {
+		return
+	}
+	t.stats.Packets++
+	key, c2s := t.orient(d)
+	f, ok := t.flows[key]
+	if !ok {
+		f = &flow{rec: Record{Key: key, Start: at, End: at}}
+		if d.HasTCP && d.TCPFlags.Has(layers.TCPSyn) && !d.TCPFlags.Has(layers.TCPAck) {
+			f.rec.SawSYN = true
+			f.rec.State = StateSynSent
+		} else if d.HasTCP {
+			f.rec.State = StateEstablished // midstream pickup
+		}
+		t.flows[key] = f
+		t.stats.FlowsCreated++
+		if onNew != nil {
+			onNew(key, at, f.rec.SawSYN)
+		}
+	}
+	f.rec.End = at
+	if c2s {
+		f.rec.PktsC2S++
+		f.rec.BytesC2S += uint64(len(d.Payload))
+	} else {
+		f.rec.PktsS2C++
+		f.rec.BytesS2C += uint64(len(d.Payload))
+	}
+	if len(d.Payload) > 0 {
+		t.capture(f, d.Payload, c2s)
+	}
+	if d.HasTCP {
+		t.advanceTCP(f, d, key, at)
+	}
+	// Amortized idle sweep every IdleTimeout of trace time.
+	if at-t.sweep >= t.cfg.IdleTimeout {
+		t.sweep = at
+		t.FlushIdle(at)
+	}
+}
+
+func (t *Table) capture(f *flow, payload []byte, c2s bool) {
+	if c2s {
+		if room := prefixCap - len(f.c2sPrefix); room > 0 {
+			if len(payload) > room {
+				payload = payload[:room]
+			}
+			f.c2sPrefix = append(f.c2sPrefix, payload...)
+		}
+	} else {
+		if room := prefixCap - len(f.s2cPrefix); room > 0 {
+			if len(payload) > room {
+				payload = payload[:room]
+			}
+			f.s2cPrefix = append(f.s2cPrefix, payload...)
+		}
+	}
+	t.classify(f)
+}
+
+func (t *Table) advanceTCP(f *flow, d *layers.Decoded, key Key, at time.Duration) {
+	switch {
+	case d.TCPFlags.Has(layers.TCPRst):
+		f.rec.State = StateReset
+		t.finish(key, f)
+	case d.TCPFlags.Has(layers.TCPFin):
+		if f.rec.State == StateClosing {
+			f.rec.State = StateClosed
+			t.finish(key, f)
+		} else if f.rec.State != StateClosed {
+			f.rec.State = StateClosing
+		}
+	case d.TCPFlags.Has(layers.TCPSyn) && d.TCPFlags.Has(layers.TCPAck):
+		if f.rec.State == StateSynSent {
+			f.rec.State = StateEstablished
+		}
+	}
+}
+
+// classify sets L7 once enough prefix bytes are available.
+func (t *Table) classify(f *flow) {
+	if !f.classified && len(f.c2sPrefix) > 0 {
+		switch {
+		case isHTTPRequest(f.c2sPrefix):
+			f.rec.L7 = L7HTTP
+			f.rec.HTTPHost = httpHost(f.c2sPrefix)
+			f.classified = f.rec.HTTPHost != "" || len(f.c2sPrefix) >= prefixCap
+		case tlswire.LooksLikeTLS(f.c2sPrefix):
+			f.rec.L7 = L7TLS
+			if info := tlswire.InspectStream(f.c2sPrefix); info.SNI != "" {
+				f.rec.SNI = info.SNI
+				f.classified = true
+			}
+		case isBitTorrent(f.c2sPrefix):
+			f.rec.L7 = L7P2P
+			f.classified = true
+		case f.rec.Key.Proto == layers.IPProtocolUDP && (f.rec.Key.ServerPort == 53 || f.rec.Key.ClientPort == 53):
+			f.rec.L7 = L7DNS
+			f.classified = true
+		default:
+			// Leave unknown; more bytes may arrive.
+			f.classified = len(f.c2sPrefix) >= 64
+		}
+	}
+	if f.rec.L7 == L7TLS && !f.inspected && len(f.s2cPrefix) > 0 {
+		info := tlswire.InspectStream(f.s2cPrefix)
+		if len(info.CertificateNames) > 0 {
+			f.rec.CertNames = info.CertificateNames
+			f.inspected = true
+		}
+	}
+}
+
+func isHTTPRequest(p []byte) bool {
+	for _, m := range [][]byte{[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT "), []byte("DELETE "), []byte("OPTIONS "), []byte("CONNECT ")} {
+		if bytes.HasPrefix(p, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// httpHost extracts the Host header value from a request head prefix.
+func httpHost(p []byte) string {
+	for _, line := range bytes.Split(p, []byte("\r\n")) {
+		if len(line) > 5 && bytes.EqualFold(line[:5], []byte("host:")) {
+			return string(bytes.ToLower(bytes.TrimSpace(line[5:])))
+		}
+	}
+	return ""
+}
+
+// isBitTorrent recognizes the BT peer-wire handshake.
+func isBitTorrent(p []byte) bool {
+	return len(p) >= 20 && p[0] == 19 && bytes.HasPrefix(p[1:], []byte("BitTorrent protocol"))
+}
+
+// finish emits a record and removes the flow.
+func (t *Table) finish(key Key, f *flow) {
+	t.classifyFinal(f)
+	t.stats.FlowsClosed++
+	delete(t.flows, key)
+	t.emit(f.rec)
+}
+
+func (t *Table) classifyFinal(f *flow) {
+	// One last classification pass with whatever prefix we have.
+	f.classified = false
+	saved := f.rec.L7
+	t.classify(f)
+	if f.rec.L7 == L7Unknown {
+		f.rec.L7 = saved
+	}
+}
+
+func (t *Table) emit(r Record) {
+	if t.cfg.OnRecord != nil {
+		t.cfg.OnRecord(r)
+		return
+	}
+	t.frozen = append(t.frozen, r)
+}
+
+// FlushIdle closes every flow idle longer than the configured timeout as of
+// now.
+func (t *Table) FlushIdle(now time.Duration) {
+	for key, f := range t.flows {
+		if now-f.rec.End >= t.cfg.IdleTimeout {
+			t.classifyFinal(f)
+			t.stats.FlowsExpired++
+			delete(t.flows, key)
+			t.emit(f.rec)
+		}
+	}
+}
+
+// FlushAll closes every remaining flow (end of trace).
+func (t *Table) FlushAll() {
+	for key, f := range t.flows {
+		t.classifyFinal(f)
+		t.stats.FlowsClosed++
+		delete(t.flows, key)
+		t.emit(f.rec)
+	}
+}
+
+// Records returns flows finished while no OnRecord callback was set.
+func (t *Table) Records() []Record { return t.frozen }

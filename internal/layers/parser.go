@@ -1,0 +1,171 @@
+package layers
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Decoded summarizes one parsed frame. All slice fields alias the frame
+// buffer passed to Parser.Parse; copy before retaining.
+type Decoded struct {
+	// Which layers were recognized.
+	HasIP, HasTCP, HasUDP bool
+	SrcIP, DstIP          netip.Addr
+	Proto                 IPProtocol
+	SrcPort, DstPort      uint16
+	TCPFlags              TCPFlags
+	Seq, Ack              uint32
+	// Payload is the transport payload (TCP stream bytes or UDP datagram).
+	Payload []byte
+}
+
+// Parser decodes Ethernet frames into preallocated layer structs, the
+// DecodingLayerParser pattern from gopacket: zero allocation per packet.
+// A Parser is not safe for concurrent use.
+type Parser struct {
+	eth  Ethernet
+	ip4  IPv4
+	ip6  IPv6
+	tcp  TCP
+	udp  UDP
+	Info Decoded
+
+	// Stats counts decode outcomes; the sniffer reports them.
+	Stats ParserStats
+}
+
+// ParserStats counts parse outcomes.
+type ParserStats struct {
+	Frames      uint64 // total frames offered
+	Malformed   uint64 // frames rejected by a decoder
+	NonIP       uint64 // frames with an unhandled EtherType
+	OtherProto  uint64 // IP packets that are neither TCP nor UDP
+	TCPSegments uint64
+	UDPDatagram uint64
+}
+
+// Parse decodes one Ethernet frame. On success Info is valid until the next
+// call. Unsupported-but-well-formed frames (ARP, ICMP) return ErrUnhandled.
+func (p *Parser) Parse(frame []byte) (*Decoded, error) {
+	p.Stats.Frames++
+	p.Info = Decoded{}
+	if err := p.eth.DecodeFromBytes(frame); err != nil {
+		p.Stats.Malformed++
+		return nil, err
+	}
+	var (
+		payload []byte
+		proto   IPProtocol
+	)
+	switch p.eth.EtherType {
+	case EtherTypeIPv4:
+		if err := p.ip4.DecodeFromBytes(p.eth.Payload); err != nil {
+			p.Stats.Malformed++
+			return nil, err
+		}
+		p.Info.HasIP = true
+		p.Info.SrcIP, p.Info.DstIP = p.ip4.Src, p.ip4.Dst
+		proto = p.ip4.Protocol
+		payload = p.ip4.Payload
+	case EtherTypeIPv6:
+		if err := p.ip6.DecodeFromBytes(p.eth.Payload); err != nil {
+			p.Stats.Malformed++
+			return nil, err
+		}
+		p.Info.HasIP = true
+		p.Info.SrcIP, p.Info.DstIP = p.ip6.Src, p.ip6.Dst
+		proto = p.ip6.NextHeader
+		payload = p.ip6.Payload
+	default:
+		p.Stats.NonIP++
+		return nil, fmt.Errorf("%w: ethertype %#04x", ErrUnhandled, uint16(p.eth.EtherType))
+	}
+	p.Info.Proto = proto
+	switch proto {
+	case IPProtocolTCP:
+		if err := p.tcp.DecodeFromBytes(payload); err != nil {
+			p.Stats.Malformed++
+			return nil, err
+		}
+		p.Stats.TCPSegments++
+		p.Info.HasTCP = true
+		p.Info.SrcPort, p.Info.DstPort = p.tcp.SrcPort, p.tcp.DstPort
+		p.Info.TCPFlags = p.tcp.Flags
+		p.Info.Seq, p.Info.Ack = p.tcp.Seq, p.tcp.Ack
+		p.Info.Payload = p.tcp.Payload
+	case IPProtocolUDP:
+		if err := p.udp.DecodeFromBytes(payload); err != nil {
+			p.Stats.Malformed++
+			return nil, err
+		}
+		p.Stats.UDPDatagram++
+		p.Info.HasUDP = true
+		p.Info.SrcPort, p.Info.DstPort = p.udp.SrcPort, p.udp.DstPort
+		p.Info.Payload = p.udp.Payload
+	default:
+		p.Stats.OtherProto++
+		return nil, fmt.Errorf("%w: ip protocol %v", ErrUnhandled, proto)
+	}
+	return &p.Info, nil
+}
+
+// ErrUnhandled marks frames that parsed correctly but carry a protocol the
+// pipeline does not track (ARP, ICMP, ...). Callers should skip, not count
+// as malformed.
+var ErrUnhandled = fmt.Errorf("layers: unhandled protocol")
+
+// Builder composes full frames for the synthesizer. The zero value uses
+// fixed locally administered MAC addresses; only the IP/transport fields
+// matter to the pipeline.
+type Builder struct {
+	buf []byte
+}
+
+var (
+	builderSrcMAC = MACAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	builderDstMAC = MACAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+// TCPFrame builds Ethernet+IP+TCP with the given payload. The returned slice
+// is reused on the next call; copy before retaining.
+func (b *Builder) TCPFrame(src, dst netip.Addr, sport, dport uint16, flags TCPFlags, seq, ack uint32, payload []byte) ([]byte, error) {
+	t := TCP{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack, Flags: flags, Window: 65535}
+	seg, err := t.AppendTo(nil, payload, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return b.ipFrame(src, dst, IPProtocolTCP, seg)
+}
+
+// UDPFrame builds Ethernet+IP+UDP with the given payload.
+func (b *Builder) UDPFrame(src, dst netip.Addr, sport, dport uint16, payload []byte) ([]byte, error) {
+	u := UDP{SrcPort: sport, DstPort: dport}
+	seg, err := u.AppendTo(nil, payload, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return b.ipFrame(src, dst, IPProtocolUDP, seg)
+}
+
+func (b *Builder) ipFrame(src, dst netip.Addr, proto IPProtocol, seg []byte) ([]byte, error) {
+	b.buf = b.buf[:0]
+	var ipBytes []byte
+	var err error
+	if src.Is4() && dst.Is4() {
+		ip := IPv4{TTL: 64, Protocol: proto, Src: src, Dst: dst}
+		ipBytes, err = ip.AppendTo(nil, seg)
+	} else {
+		ip := IPv6{NextHeader: proto, HopLimit: 64, Src: src, Dst: dst}
+		ipBytes, err = ip.AppendTo(nil, seg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	et := EtherTypeIPv4
+	if !src.Is4() {
+		et = EtherTypeIPv6
+	}
+	eth := Ethernet{Dst: builderDstMAC, Src: builderSrcMAC, EtherType: et}
+	b.buf = eth.AppendTo(b.buf, ipBytes)
+	return b.buf, nil
+}

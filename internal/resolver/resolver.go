@@ -1,0 +1,353 @@
+// Package resolver implements the paper's central data structure (§3.1.1,
+// Fig. 2, Algorithm 1): a passive replica of the monitored clients' DNS
+// caches. Each sniffed DNS response inserts one FQDN entry into a FIFO
+// circular list (the Clist) of fixed size L, and links it from a two-level
+// lookup structure clientIP → serverIP → entry. Back-references from each
+// entry to the map keys pointing at it make eviction O(refs) with no
+// garbage collection pass, exactly as the paper describes.
+//
+// The inner serverIP map comes in two flavours, selected by Config.MapKind:
+// the paper's C++ std::map is modelled by an ordered slice with binary
+// search (MapOrdered), and its footnote-2 alternative by Go's hash map
+// (MapHash). BenchmarkAblationMapKind compares them.
+package resolver
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// MapKind selects the inner serverIP → entry container.
+type MapKind uint8
+
+// Container choices.
+const (
+	// MapHash uses Go's built-in map: O(1) expected, the paper's footnote-2
+	// option.
+	MapHash MapKind = iota
+	// MapOrdered uses a sorted slice with binary search: O(log n) like the
+	// paper's std::map.
+	MapOrdered
+)
+
+// Config tunes the resolver.
+type Config struct {
+	// ClistSize is L, the circular list capacity. The paper dimensions L so
+	// the implied caching time covers ~1 hour of responses (§6). Zero means
+	// 1<<20 entries.
+	ClistSize int
+	// MapKind selects the inner map implementation.
+	MapKind MapKind
+	// History keeps up to this many previous FQDNs per (client, server) key
+	// so LookupAll can return all candidate labels (§6 discusses the <4%
+	// confusion from last-writer-wins; the multi-label extension resolves
+	// it). Zero keeps only the latest (the paper's default behaviour).
+	History int
+}
+
+// Stats counts resolver activity.
+type Stats struct {
+	Responses    uint64 // Insert calls
+	Addresses    uint64 // serverIP keys inserted
+	Replaced     uint64 // keys that pointed to an older entry
+	Evictions    uint64 // Clist slots recycled
+	EvictedRefs  uint64 // map keys removed by eviction
+	Lookups      uint64
+	Hits         uint64
+	Misses       uint64
+	ClientsPeak  int
+	EntriesAlive int // entries currently holding at least one ref
+}
+
+// Entry is one Clist slot: an FQDN with the time its response was seen and
+// the back-references that point at it.
+type Entry struct {
+	FQDN string
+	At   time.Duration
+	// Used is set by the flow tagger when the entry labels its first flow;
+	// entries never used measure the paper's "useless DNS" (Table 9).
+	Used bool
+	refs []backref
+	// live guards against double recycling.
+	live bool
+}
+
+type backref struct {
+	client, server netip.Addr
+	// prev chains history when Config.History > 0.
+}
+
+// serverMap is the inner container abstraction.
+type serverMap interface {
+	get(netip.Addr) (*node, bool)
+	put(netip.Addr, *node)
+	del(netip.Addr)
+	size() int
+}
+
+// node holds the newest entry for a (client, server) key plus bounded
+// history of displaced entries.
+type node struct {
+	entry *Entry
+	older []*Entry // most recent first; bounded by Config.History
+}
+
+// hashServerMap is the MapHash implementation.
+type hashServerMap map[netip.Addr]*node
+
+func (m hashServerMap) get(a netip.Addr) (*node, bool) { n, ok := m[a]; return n, ok }
+func (m hashServerMap) put(a netip.Addr, n *node)      { m[a] = n }
+func (m hashServerMap) del(a netip.Addr)               { delete(m, a) }
+func (m hashServerMap) size() int                      { return len(m) }
+
+// orderedServerMap is the MapOrdered implementation: entries sorted by
+// address, looked up by binary search. Matches the strict-weak-ordering
+// criterion the paper describes for its C++ maps.
+type orderedServerMap struct {
+	keys  []netip.Addr
+	nodes []*node
+}
+
+func (m *orderedServerMap) search(a netip.Addr) int {
+	return sort.Search(len(m.keys), func(i int) bool { return m.keys[i].Compare(a) >= 0 })
+}
+
+func (m *orderedServerMap) get(a netip.Addr) (*node, bool) {
+	i := m.search(a)
+	if i < len(m.keys) && m.keys[i] == a {
+		return m.nodes[i], true
+	}
+	return nil, false
+}
+
+func (m *orderedServerMap) put(a netip.Addr, n *node) {
+	i := m.search(a)
+	if i < len(m.keys) && m.keys[i] == a {
+		m.nodes[i] = n
+		return
+	}
+	m.keys = append(m.keys, netip.Addr{})
+	m.nodes = append(m.nodes, nil)
+	copy(m.keys[i+1:], m.keys[i:])
+	copy(m.nodes[i+1:], m.nodes[i:])
+	m.keys[i] = a
+	m.nodes[i] = n
+}
+
+func (m *orderedServerMap) del(a netip.Addr) {
+	i := m.search(a)
+	if i < len(m.keys) && m.keys[i] == a {
+		m.keys = append(m.keys[:i], m.keys[i+1:]...)
+		m.nodes = append(m.nodes[:i], m.nodes[i+1:]...)
+	}
+}
+
+func (m *orderedServerMap) size() int { return len(m.keys) }
+
+// Resolver is the DNS cache replica. Not safe for concurrent use; shard by
+// client address for parallel deployments (the paper suggests odd/even
+// fourth-octet sharding).
+type Resolver struct {
+	cfg     Config
+	clients map[netip.Addr]serverMap
+	clist   []*Entry
+	next    int
+	stats   Stats
+}
+
+// New creates a resolver.
+func New(cfg Config) *Resolver {
+	if cfg.ClistSize <= 0 {
+		cfg.ClistSize = 1 << 20
+	}
+	return &Resolver{
+		cfg:     cfg,
+		clients: make(map[netip.Addr]serverMap),
+		clist:   make([]*Entry, cfg.ClistSize),
+	}
+}
+
+// L returns the configured Clist size.
+func (r *Resolver) L() int { return r.cfg.ClistSize }
+
+// Stats returns a snapshot of the counters.
+func (r *Resolver) Stats() Stats {
+	s := r.stats
+	s.EntriesAlive = 0
+	for _, e := range r.clist {
+		if e != nil && e.live {
+			s.EntriesAlive++
+		}
+	}
+	return s
+}
+
+// Clients returns the number of clients currently tracked.
+func (r *Resolver) Clients() int { return len(r.clients) }
+
+func (r *Resolver) newServerMap() serverMap {
+	if r.cfg.MapKind == MapOrdered {
+		return &orderedServerMap{}
+	}
+	return make(hashServerMap)
+}
+
+// Insert records one DNS response: clientIP asked for fqdn and received the
+// given server addresses (Algorithm 1, INSERT). Responses with no addresses
+// are counted but change nothing.
+func (r *Resolver) Insert(clientIP netip.Addr, fqdn string, servers []netip.Addr, at time.Duration) {
+	r.stats.Responses++
+	if fqdn == "" || len(servers) == 0 {
+		return
+	}
+	sm, ok := r.clients[clientIP]
+	if !ok {
+		sm = r.newServerMap()
+		r.clients[clientIP] = sm
+		if len(r.clients) > r.stats.ClientsPeak {
+			r.stats.ClientsPeak = len(r.clients)
+		}
+	}
+	entry := &Entry{FQDN: fqdn, At: at, live: true}
+	for _, serverIP := range servers {
+		r.stats.Addresses++
+		if n, ok := sm.get(serverIP); ok {
+			// Replace the old reference (Algorithm 1, lines 11–15): the old
+			// entry loses this back-reference; optionally it is retained as
+			// history for LookupAll.
+			old := n.entry
+			old.removeRef(clientIP, serverIP)
+			r.stats.Replaced++
+			if r.cfg.History > 0 && old.FQDN != fqdn {
+				n.older = append([]*Entry{old}, n.older...)
+				if len(n.older) > r.cfg.History {
+					n.older = n.older[:r.cfg.History]
+				}
+			}
+			n.entry = entry
+		} else {
+			sm.put(serverIP, &node{entry: entry})
+		}
+		entry.refs = append(entry.refs, backref{client: clientIP, server: serverIP})
+	}
+	// Recycle the next Clist slot (lines 22–25).
+	if old := r.clist[r.next]; old != nil && old.live {
+		r.evict(old)
+	}
+	r.clist[r.next] = entry
+	r.next++
+	if r.next == len(r.clist) {
+		r.next = 0
+	}
+}
+
+// evict removes every map key still pointing at e.
+func (r *Resolver) evict(e *Entry) {
+	r.stats.Evictions++
+	for _, ref := range e.refs {
+		sm, ok := r.clients[ref.client]
+		if !ok {
+			continue
+		}
+		n, ok := sm.get(ref.server)
+		if !ok {
+			continue
+		}
+		if n.entry == e {
+			// Promote history if any, else drop the key.
+			if len(n.older) > 0 {
+				n.entry = n.older[0]
+				n.older = n.older[1:]
+			} else {
+				sm.del(ref.server)
+				r.stats.EvictedRefs++
+				if sm.size() == 0 {
+					delete(r.clients, ref.client)
+				}
+			}
+			continue
+		}
+		// e may live only in history.
+		for i, h := range n.older {
+			if h == e {
+				n.older = append(n.older[:i], n.older[i+1:]...)
+				break
+			}
+		}
+	}
+	e.refs = nil
+	e.live = false
+}
+
+// removeRef drops one back-reference from the entry (replacement path).
+func (e *Entry) removeRef(client, server netip.Addr) {
+	for i, ref := range e.refs {
+		if ref.client == client && ref.server == server {
+			e.refs = append(e.refs[:i], e.refs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lookup returns the FQDN clientIP most recently resolved to serverIP
+// (Algorithm 1, LOOKUP). ok is false on a cache miss.
+func (r *Resolver) Lookup(clientIP, serverIP netip.Addr) (fqdn string, ok bool) {
+	e, ok := r.LookupEntry(clientIP, serverIP)
+	if !ok {
+		return "", false
+	}
+	return e.FQDN, true
+}
+
+// LookupEntry is Lookup but returns the whole entry (FQDN plus the time the
+// response was observed, used to measure first-flow delay, Fig. 12).
+func (r *Resolver) LookupEntry(clientIP, serverIP netip.Addr) (*Entry, bool) {
+	r.stats.Lookups++
+	sm, ok := r.clients[clientIP]
+	if !ok {
+		r.stats.Misses++
+		return nil, false
+	}
+	n, ok := sm.get(serverIP)
+	if !ok {
+		r.stats.Misses++
+		return nil, false
+	}
+	r.stats.Hits++
+	return n.entry, true
+}
+
+// LookupAll returns every FQDN currently associated with (clientIP,
+// serverIP), newest first. With Config.History == 0 this is at most one
+// name. The multi-label extension discussed in §6.
+func (r *Resolver) LookupAll(clientIP, serverIP netip.Addr) []string {
+	sm, ok := r.clients[clientIP]
+	if !ok {
+		return nil
+	}
+	n, ok := sm.get(serverIP)
+	if !ok {
+		return nil
+	}
+	out := []string{n.entry.FQDN}
+	for _, h := range n.older {
+		out = append(out, h.FQDN)
+	}
+	return out
+}
+
+// HitRatio returns Hits/Lookups, or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// String summarizes the stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("responses=%d addrs=%d replaced=%d evictions=%d lookups=%d hit=%.1f%%",
+		s.Responses, s.Addresses, s.Replaced, s.Evictions, s.Lookups, 100*s.HitRatio())
+}

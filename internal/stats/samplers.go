@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+// Service popularity in the synthesizer follows a Zipf law, matching the
+// skewed access patterns the paper reports (a handful of SLDs dominate
+// flows while the FQDN tail keeps growing).
+type Zipf struct {
+	cdf []float64 // cumulative, normalized
+}
+
+// NewZipf builds a sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N).
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search the CDF.
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// WeightedChoice samples indexes proportionally to the given non-negative
+// weights. Zero-weight entries are never chosen. Construction is O(n),
+// sampling O(log n).
+type WeightedChoice struct {
+	cum []float64
+}
+
+// NewWeightedChoice builds a sampler. It panics if all weights are zero or
+// any weight is negative.
+func NewWeightedChoice(weights []float64) *WeightedChoice {
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		sum += w
+		cum[i] = sum
+	}
+	if sum <= 0 {
+		panic("stats: all weights zero")
+	}
+	for i := range cum {
+		cum[i] /= sum
+	}
+	return &WeightedChoice{cum: cum}
+}
+
+// Sample draws one index.
+func (w *WeightedChoice) Sample(r *RNG) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(w.cum, u)
+	if i >= len(w.cum) {
+		i = len(w.cum) - 1
+	}
+	return i
+}
+
+// Diurnal is a 24-hour activity profile. Value(t) returns a multiplicative
+// load factor in (0, 1]; the paper's traces show pronounced diurnal cycles
+// (Figs. 4, 5, 6, 14) with an evening peak and an early-morning trough.
+type Diurnal struct {
+	// PeakHour is the hour of maximum activity (e.g. 21.0 for 9 pm).
+	PeakHour float64
+	// Floor is the minimum relative load at the trough, in (0, 1].
+	Floor float64
+}
+
+// Value returns the relative load at an offset from local midnight. The
+// profile is a raised cosine between Floor and 1.0 peaking at PeakHour.
+func (d Diurnal) Value(hourOfDay float64) float64 {
+	floor := d.Floor
+	if floor <= 0 {
+		floor = 0.1
+	}
+	if floor > 1 {
+		floor = 1
+	}
+	phase := 2 * math.Pi * (hourOfDay - d.PeakHour) / 24
+	c := (math.Cos(phase) + 1) / 2 // 1 at peak, 0 at trough
+	return floor + (1-floor)*c
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample. It
+// interpolates linearly between order statistics and panics on an empty
+// sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,250 @@
+package synth
+
+import "fmt"
+
+// catalog.go defines the content-owner and service catalog: which
+// organizations exist, who hosts them in each geography, and which
+// port-bound services run beside the web — tuned so the analytics reproduce
+// the paper's qualitative results (Figs. 7/8/9, Tables 5/6/7/8).
+
+// grp is a HostGroup constructor shorthand.
+func grp(provider string, weight float64, servers int, tlsFrac float64, port uint16, names ...NamePattern) HostGroup {
+	return HostGroup{Provider: provider, Weight: weight, Servers: servers, TLSFrac: tlsFrac, Port: port, Names: names}
+}
+
+func np(pattern string, n int) NamePattern { return NamePattern{Pattern: pattern, N: n} }
+
+func defaultOrgs() []*Org {
+	var orgs []*Org
+	add := func(o *Org) { orgs = append(orgs, o) }
+
+	// facebook.com: mostly self-hosted, TLS-heavy (Fig. 9 top).
+	fb := []HostGroup{
+		grp("facebook", 0.92, 110, 0.8, 0, np("www", 1), np("m", 1), np("api", 1), np("login", 1), np("graph", 1)),
+		grp("akamai", 0.08, 60, 0.2, 0, np("photos-#", 8), np("profile", 1)),
+	}
+	add(&Org{SLD: "facebook.com", Popularity: 30, Groups: map[Geo][]HostGroup{GeoUS: fb, GeoEU1: fb, GeoEU2: fb}})
+
+	// fbcdn.net: Facebook static content on Akamai (Fig. 4's 600-server SLD).
+	fbcdn := []HostGroup{
+		grp("akamai", 1.0, 650, 0.1, 0, np("photos-a-#", 150), np("static-#", 50), np("external-#", 25)),
+	}
+	add(&Org{SLD: "fbcdn.net", Popularity: 26, Groups: map[Geo][]HostGroup{GeoUS: fbcdn, GeoEU1: fbcdn, GeoEU2: fbcdn}})
+
+	// twitter.com: self in US; Akamai-assisted in Europe (Fig. 9 middle).
+	twUS := []HostGroup{
+		grp("twitter", 0.85, 35, 0.9, 0, np("www", 1), np("api", 1), np("mobile", 1)),
+		grp("akamai", 0.15, 30, 0.5, 0, np("static-#", 6)),
+	}
+	twEU := []HostGroup{
+		grp("twitter", 0.55, 35, 0.9, 0, np("www", 1), np("api", 1), np("mobile", 1)),
+		grp("akamai", 0.45, 90, 0.5, 0, np("static-#", 6)),
+	}
+	add(&Org{SLD: "twitter.com", Popularity: 14, Groups: map[Geo][]HostGroup{GeoUS: twUS, GeoEU1: twEU, GeoEU2: twEU}})
+
+	// twimg.com: Twitter images on Amazon (a Table 5 EU-side entry; the
+	// paper's US top-10 does not list it).
+	twimg := []HostGroup{grp("amazon", 1.0, 80, 0.2, 0, np("a#", 5), np("si#", 4))}
+	add(&Org{SLD: "twimg.com", Popularity: 2, Groups: map[Geo][]HostGroup{GeoUS: twimg, GeoEU1: twimg, GeoEU2: twimg},
+		popByGeo: map[Geo]float64{GeoUS: 2, GeoEU1: 5, GeoEU2: 5}})
+
+	// youtube.com: Google-hosted, strong diurnal pool with the 17:00–20:30
+	// policy step (Fig. 4).
+	yt := []HostGroup{
+		grp("google", 1.0, 350, 0.15, 0, np("www", 1), np("r#.sn-video", 60), np("i#.ytimg", 12)),
+	}
+	add(&Org{SLD: "youtube.com", Popularity: 22, Groups: map[Geo][]HostGroup{GeoUS: yt, GeoEU1: yt, GeoEU2: yt}})
+
+	// google.com: the multi-service platform the intro argues about.
+	gg := []HostGroup{
+		grp("google", 1.0, 250, 0.7, 0,
+			np("www", 1), np("mail", 1), np("docs", 1), np("scholar", 1),
+			np("maps", 1), np("apis", 1), np("accounts", 1), np("clientsN#", 8)),
+	}
+	add(&Org{SLD: "google.com", Popularity: 28, Groups: map[Geo][]HostGroup{GeoUS: gg, GeoEU1: gg, GeoEU2: gg}})
+
+	// blogspot.com: thousands of FQDNs on few servers (Fig. 4 bottom line);
+	// unbounded user-content tail (Fig. 6).
+	bs := []HostGroup{grp("google", 1.0, 10, 0.1, 0, np("www", 1))}
+	add(&Org{
+		SLD: "blogspot.com", Popularity: 8,
+		Groups:   map[Geo][]HostGroup{GeoUS: bs, GeoEU1: bs, GeoEU2: bs},
+		TailRate: 0.85, TailPattern: "#",
+	})
+
+	// zynga.com: Amazon EC2 compute + Akamai static + self (Fig. 8).
+	zy := []HostGroup{
+		grp("amazon", 0.86, 498, 0.6, 0,
+			np("petville.facebook", 1), np("cityville.facebook", 1), np("fishville.facebook", 1),
+			np("frontierville.facebook", 1), np("treasure.facebook", 1), np("cafe.facebook", 1),
+			np("poker.facebook", 1), np("mafiawars.facebook", 1), np("vampires.facebook", 1),
+			np("fb-client-#.cityville", 6), np("fb-#.frontierville", 6),
+			np("iphone.stats", 1), np("zbar", 1), np("rewards", 1), np("sslrewards", 1),
+			np("glb.zyngawithfriends", 1), np("streetracing.myspace#", 3)),
+		grp("akamai", 0.07, 30, 0.3, 0,
+			np("static", 1), np("assets", 1), np("avatars", 1), np("toolbar", 1), np("zgn", 1)),
+		grp("zynga", 0.07, 28, 0.5, 0,
+			np("www", 1), np("support", 1), np("forum", 1), np("mwms", 1),
+			np("nav#", 3), np("zpay#", 2), np("secure#", 2), np("track", 1), np("accounts", 1)),
+	}
+	add(&Org{SLD: "zynga.com", Popularity: 10, Groups: map[Geo][]HostGroup{GeoUS: zy, GeoEU1: zy, GeoEU2: zy}})
+
+	// linkedin.com: the paper's Fig. 7 four-way split.
+	li := []HostGroup{
+		grp("edgecast", 0.59, 1, 0.2, 0, np("static#", 4), np("platform", 1)),
+		grp("linkedin", 0.22, 3, 0.7, 0, np("www", 1), np("touch", 1), np("api", 1), np("m", 1)),
+		grp("akamai", 0.17, 2, 0.2, 0, np("media#", 6)),
+		grp("cdnetworks", 0.03, 15, 0.2, 0, np("media", 1), np("www7", 1)),
+	}
+	add(&Org{SLD: "linkedin.com", Popularity: 9, Groups: map[Geo][]HostGroup{GeoUS: li, GeoEU1: li, GeoEU2: li}})
+
+	// dailymotion.com: Dedibox-centric with US-side Meta/NTT (Fig. 9 bottom).
+	dmEU := []HostGroup{
+		grp("dedibox", 0.9, 80, 0.05, 0, np("www", 1), np("static#", 8), np("vid#", 20)),
+		grp("edgecast", 0.1, 4, 0.05, 0, np("ak#", 3)),
+	}
+	dmUS := []HostGroup{
+		grp("dedibox", 0.55, 60, 0.05, 0, np("www", 1), np("static#", 8), np("vid#", 20)),
+		grp("dailymotion", 0.2, 18, 0.05, 0, np("www", 1), np("api", 1)),
+		grp("meta", 0.15, 20, 0.05, 0, np("proxy-#", 5)),
+		grp("ntt", 0.1, 20, 0.05, 0, np("cdn#", 5)),
+	}
+	add(&Org{SLD: "dailymotion.com", Popularity: 9, Groups: map[Geo][]HostGroup{GeoUS: dmUS, GeoEU1: dmEU, GeoEU2: dmEU}})
+
+	// dropbox.com: TLS on shared cloud + self (the policy example).
+	db := []HostGroup{
+		grp("dropbox", 0.5, 16, 1.0, 0, np("www", 1), np("client#", 4)),
+		grp("amazon", 0.5, 120, 1.0, 0, np("dl-client#", 10), np("api-content", 1)),
+	}
+	add(&Org{SLD: "dropbox.com", Popularity: 8, Groups: map[Geo][]HostGroup{GeoUS: db, GeoEU1: db, GeoEU2: db}})
+
+	// Amazon-hosted long tail with geography-dependent popularity
+	// (Table 5). Weights mirror the paper's per-geo ranking.
+	amazonTenant := func(sld string, popUS, popEU float64, names ...NamePattern) {
+		if len(names) == 0 {
+			names = []NamePattern{np("www", 1), np("api", 1), np("cdn#", 4)}
+		}
+		g := []HostGroup{grp("amazon", 1.0, 100, 0.3, 0, names...)}
+		add(&Org{SLD: sld, Popularity: 0, Groups: map[Geo][]HostGroup{GeoUS: g, GeoEU1: g, GeoEU2: g},
+			popByGeo: map[Geo]float64{GeoUS: popUS, GeoEU1: popEU, GeoEU2: popEU}})
+	}
+	amazonTenant("cloudfront.net", 16, 20, np("d#", 200))
+	amazonTenant("invitemedia.com", 10, 2)
+	amazonTenant("amazon.com", 7, 2, np("www", 1), np("images-#", 6))
+	amazonTenant("rubiconproject.com", 7, 2)
+	amazonTenant("andomedia.com", 5, 0.3)
+	amazonTenant("sharethis.com", 5, 5)
+	amazonTenant("mobclix.com", 4, 0.2)
+	amazonTenant("admarvel.com", 3, 0.2)
+	amazonTenant("amazonaws.com", 3, 4, np("s3", 1), np("ec2-#.compute-1", 30))
+	amazonTenant("playfish.com", 0.5, 16)
+	amazonTenant("imdb.com", 1, 1)
+
+	// appspot.com: Google-hosted web apps, including freeloading BitTorrent
+	// trackers (§5.6, Table 8, Figs. 10/11). The tail generates new app
+	// names over long horizons.
+	ap := []HostGroup{grp("google", 1.0, 40, 0.3, 0,
+		np("open-tracker", 1), np("rlskingbt", 1), np("bt-announce-#", 8),
+		np("photo-share-#", 20), np("todo-app-#", 20), np("game-scores-#", 15))}
+	add(&Org{
+		SLD: "appspot.com", Popularity: 5,
+		Groups:   map[Geo][]HostGroup{GeoUS: ap, GeoEU1: ap, GeoEU2: ap},
+		TailRate: 0.3, TailPattern: "app-#",
+	})
+
+	// microsoft.com / msn ecosystem on the Microsoft pool (Fig. 5 series).
+	ms := []HostGroup{
+		grp("microsoft", 1.0, 200, 0.4, 0, np("www", 1), np("update", 1), np("download", 1), np("c#.msecnd", 10)),
+	}
+	add(&Org{SLD: "microsoft.com", Popularity: 12, Groups: map[Geo][]HostGroup{GeoUS: ms, GeoEU1: ms, GeoEU2: ms}})
+
+	// Regional long-tail sites on smaller CDNs, to populate Fig. 5's lower
+	// series and Fig. 3's singleton mass.
+	small := func(sld, provider string, pop float64) {
+		g := []HostGroup{grp(provider, 1.0, 4, 0.1, 0, np("www", 1), np("img", 1))}
+		add(&Org{SLD: sld, Popularity: pop, Groups: map[Geo][]HostGroup{GeoUS: g, GeoEU1: g, GeoEU2: g}})
+	}
+	small("leasehost-a.net", "leaseweb", 2)
+	small("leasehost-b.org", "leaseweb", 1.5)
+	small("cotendo-shop.com", "cotendo", 1.5)
+	small("l3-news.com", "level 3", 3)
+	small("l3-video.net", "level 3", 2)
+	for i := 0; i < 40; i++ {
+		small(fmt.Sprintf("site%02d.example.net", i), pick3(i), 0.4)
+	}
+	return orgs
+}
+
+// pick3 spreads tail sites across small providers.
+func pick3(i int) string {
+	switch i % 3 {
+	case 0:
+		return "leaseweb"
+	case 1:
+		return "level 3"
+	default:
+		return "cotendo"
+	}
+}
+
+// popByGeo support: Org carries optional per-geo popularity overrides.
+
+func defaultServices() []*Service {
+	sv := func(port uint16, gt, provider string, weight float64, names ...ServiceName) *Service {
+		return &Service{Port: port, GroundTruth: gt, Provider: provider, Weight: weight, Names: names}
+	}
+	sn := func(fqdn string, n int, w float64) ServiceName { return ServiceName{FQDN: fqdn, N: n, Weight: w} }
+
+	services := []*Service{
+		// Mail: Table 6's well-known ports.
+		sv(25, "SMTP", "isp-mail", 20,
+			sn("smtp.isp-mail.com", 1, 60), sn("smtp#.mail.isp-mail.com", 4, 31),
+			sn("mx#.mailin.aspmx.gmail.com", 4, 20), sn("mail#.altn.com", 3, 18)),
+		sv(110, "POP3", "isp-mail", 18,
+			sn("pop.mail.isp-mail.com", 1, 150), sn("pop#.mail.isp-mail.com", 6, 60),
+			sn("pop.mailbus.net", 1, 30)),
+		sv(143, "IMAP", "isp-mail", 6,
+			sn("imap.mail.isp-mail.com", 1, 22), sn("imap.mail.apple.me.com", 1, 8),
+			sn("pop.mail.isp-mail.com", 1, 5)),
+		sv(554, "RTSP", "apple", 0.5, sn("streaming.quicktime-radio.net", 1, 1)),
+		sv(587, "SMTP submission", "isp-mail", 3,
+			sn("smtp.mail.isp-mail.com", 1, 10), sn("pop.mail.isp-mail.com", 1, 3),
+			sn("imap.mail.isp-mail.com", 1, 1)),
+		sv(995, "POP3S", "microsoft", 10,
+			sn("pop.mail.isp-mail.com", 1, 70), sn("pop#.mail.hot.glbdns.microsoft.com", 4, 45),
+			sn("pop.mail.pec-mail.it", 1, 17)),
+		sv(1863, "MSN Messenger", "microsoft", 6,
+			sn("messenger.hotmail.msn.com", 1, 21), sn("relay.voice.messenger.msn.com", 1, 5),
+			sn("edge.messenger.emea.msn.com", 1, 5)),
+
+		// Table 7's frequently-used ephemeral ports.
+		sv(1080, "Opera Mini proxy", "opera", 5,
+			sn("opera.mini#.opera-mini.net", 8, 51)),
+		sv(1337, "BitTorrent tracker", "trackers", 6,
+			sn("exodus.1337x.org", 1, 83), sn("genesis.1337x.org", 1, 41)),
+		sv(2710, "BitTorrent tracker", "trackers", 5,
+			sn("tracker.openbittorrent.com", 1, 62), sn("www.sumotracker.org", 1, 9)),
+		sv(5050, "Yahoo Messenger", "yahoo", 7,
+			sn("msg.webcs.yahoo.com", 1, 137), sn("sip.voipa.yahoo.com", 1, 45)),
+		sv(5190, "AOL ICQ", "aol", 2, sn("americaonline.aol.com", 1, 27)),
+		sv(5222, "Google Talk", "google", 15, sn("chat.gtalk-xmpp.com", 1, 1170)),
+		sv(5223, "Apple push", "apple", 9, sn("courier.push.apple.com", 1, 191)),
+		sv(5228, "Android Market", "google", 25, sn("mtalk.android-market.com", 1, 15022)),
+		sv(6969, "BitTorrent tracker", "trackers", 6,
+			sn("tracker.publicbt.com", 1, 88), sn("tracker#.torrentbay.to", 4, 11),
+			sn("torrent.resistance.net", 1, 10), sn("exodus.desync.org", 1, 10)),
+		sv(12043, "Second Life", "lindenlab", 3, sn("sim#.agni.secondlife-grid.com", 12, 32)),
+		sv(12046, "Second Life", "lindenlab", 2, sn("sim#.agni.secondlife-grid.com", 12, 20)),
+		sv(18182, "BitTorrent tracker", "trackers", 3,
+			sn("useful.broker.publicbt-relay.org", 1, 92)),
+	}
+	// Port-specific geography: Table 6 is EU1-FTTH, Table 7 is US-3G; the
+	// services exist everywhere but mobile-flavoured ones skew US.
+	for _, s := range services {
+		switch s.Port {
+		case 1080, 5228, 5223:
+			s.Weight *= 2 // mobile-heavy services
+		}
+	}
+	return services
+}

@@ -1,0 +1,349 @@
+// Package synth generates synthetic ISP traces that stand in for the
+// paper's five proprietary captures (Table 1). It models the tangled web
+// the paper measures — content owners, the CDNs and clouds hosting them,
+// DNS caching at clients, diurnal load, access-technology delays — and
+// emits either real wire bytes (Ethernet/IP/UDP DNS + TCP flows, consumed
+// by the full DN-Hunter pipeline) or, for multi-day horizons, pre-labeled
+// events. Every stochastic choice derives from a seed; the same scenario
+// and seed reproduce the identical trace byte for byte.
+package synth
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"repro/internal/orgdb"
+	"repro/internal/stats"
+)
+
+// Geo labels a vantage point's geography; hosting weights differ per geo,
+// which is what Table 5 and Fig. 9 measure.
+type Geo string
+
+// Geographies of the paper's vantage points.
+const (
+	GeoUS  Geo = "US"
+	GeoEU1 Geo = "EU1"
+	GeoEU2 Geo = "EU2"
+)
+
+// PTRKind describes a provider's reverse-DNS naming practice, the driver of
+// Table 3's mismatch structure.
+type PTRKind uint8
+
+// PTR policies.
+const (
+	// PTRNone publishes no PTR record (29% of the paper's sample).
+	PTRNone PTRKind = iota
+	// PTRExact publishes the served FQDN (9%).
+	PTRExact
+	// PTRSameSLD publishes a different host under the same second-level
+	// domain, e.g. web12.example.com for www.example.com (36%).
+	PTRSameSLD
+	// PTRProvider publishes the provider's internal name, totally different
+	// from the served FQDN, e.g. a23-1-2-3.deploy.akamaitechnologies.com
+	// (26%).
+	PTRProvider
+)
+
+// CertKind describes what the TLS certificate-inspection baseline sees from
+// a server, the driver of Table 4.
+type CertKind uint8
+
+// Certificate policies.
+const (
+	// CertExact presents a certificate for the exact FQDN.
+	CertExact CertKind = iota
+	// CertWildcard presents *.<sld> — "generic" in the paper's taxonomy.
+	CertWildcard
+	// CertProvider presents the CDN's own name (a248.e.akamai.net for
+	// Zynga content) — "totally different".
+	CertProvider
+	// CertNone sends no certificate (abbreviated handshake / resumption).
+	CertNone
+)
+
+// Provider is a hosting organization: a CDN, a cloud, or an org's own
+// datacenter.
+type Provider struct {
+	Name string
+	// Prefix is the provider's address block, registered in the org DB.
+	Prefix netip.Prefix
+	// Servers is the pool size carved from the prefix.
+	Servers int
+	// Diurnal scales the active server subset with load (CDNs spin up
+	// capacity at peak — Fig. 4's evening ramp).
+	Diurnal bool
+	// PTR is the reverse-zone policy for the pool.
+	PTR PTRKind
+	// Cert is the certificate policy for TLS served from the pool.
+	Cert CertKind
+	// MaxAddrsPerResponse caps the answer list length (§6 reports up to 16
+	// for Google, >30 rarely).
+	MaxAddrsPerResponse int
+}
+
+// NamePattern expands to FQDN hostnames under an org's SLD. A pattern
+// containing "#" generates numbered variants ("media#" -> media1..mediaN);
+// without "#" it is a literal label path ("www", "smtp.mail").
+type NamePattern struct {
+	Pattern string
+	// N is the number of variants for numbered patterns (minimum 1).
+	N int
+}
+
+// Expand returns the i-th concrete host prefix for the pattern.
+func (p NamePattern) Expand(i int) string {
+	if !strings.Contains(p.Pattern, "#") {
+		return p.Pattern
+	}
+	return strings.ReplaceAll(p.Pattern, "#", fmt.Sprint(i+1))
+}
+
+// Variants returns how many concrete names the pattern yields.
+func (p NamePattern) Variants() int {
+	if !strings.Contains(p.Pattern, "#") || p.N < 1 {
+		return 1
+	}
+	return p.N
+}
+
+// HostGroup is a set of an org's FQDNs served by one provider — one
+// rectangle in the paper's Fig. 7/8 domain trees.
+type HostGroup struct {
+	Provider string
+	// Weight is the share of the org's flows landing on this group.
+	Weight float64
+	// Names under the org SLD served by this group.
+	Names []NamePattern
+	// Servers is how many provider servers this group uses (<= pool).
+	Servers int
+	// Port is the server port (default 80; 443 forces TLS).
+	Port uint16
+	// TLSFrac is the fraction of flows carried over TLS (port 443).
+	TLSFrac float64
+}
+
+// Org is a content owner.
+type Org struct {
+	SLD string
+	// Popularity is the org's relative traffic weight in the Zipf-like mix.
+	Popularity float64
+	// Groups maps geography to the hosting layout there.
+	Groups map[Geo][]HostGroup
+	// TailRate, when positive, makes the org generate previously unseen
+	// FQDNs at this per-session probability (user content: blogspot blogs,
+	// cloudfront distributions, appspot apps) — the engine behind Fig. 6's
+	// unbounded FQDN growth.
+	TailRate float64
+	// TailPattern formats generated tail names; "#" is replaced by a
+	// unique token.
+	TailPattern string
+	// popByGeo optionally overrides Popularity per geography (Table 5's
+	// geo-dependent rankings are driven by this).
+	popByGeo map[Geo]float64
+}
+
+// Pop returns the org's popularity at a geography, honouring overrides.
+func (o *Org) Pop(geo Geo) float64 {
+	if o.popByGeo != nil {
+		if p, ok := o.popByGeo[geo]; ok {
+			return p
+		}
+	}
+	return o.Popularity
+}
+
+// ServiceName is one weighted FQDN choice for a port-bound service.
+type ServiceName struct {
+	FQDN   string // may contain "#" for numbered expansion
+	N      int
+	Weight float64
+}
+
+// Service is non-web traffic bound to a specific port: mail, messengers,
+// BitTorrent trackers — the workload behind Tables 6 and 7.
+type Service struct {
+	Port uint16
+	// GroundTruth is the human answer for the port (the tables' GT column).
+	GroundTruth string
+	// Provider hosting the service endpoints.
+	Provider string
+	// Names are the FQDNs clients resolve, with relative weights.
+	Names []ServiceName
+	// Weight is the service's share of total service traffic.
+	Weight float64
+	// Geos, when non-empty, restricts the service to these vantage points.
+	Geos []Geo
+}
+
+// Universe is the complete world model for one geography.
+type Universe struct {
+	Geo       Geo
+	Providers map[string]*Provider
+	Orgs      []*Org
+	Services  []*Service
+
+	// serverAddrs caches the provider pools.
+	serverAddrs map[string][]netip.Addr
+}
+
+// BuildUniverse constructs the world for one geography. The same universe
+// definition is shared across geos; only hosting weights differ.
+func BuildUniverse(geo Geo) *Universe {
+	u := &Universe{
+		Geo:         geo,
+		Providers:   make(map[string]*Provider),
+		serverAddrs: make(map[string][]netip.Addr),
+	}
+	for _, p := range defaultProviders() {
+		u.Providers[p.Name] = p
+	}
+	u.Orgs = defaultOrgs()
+	u.Services = defaultServices()
+	return u
+}
+
+// defaultProviders defines the hosting landscape of 2011-2012 as the paper
+// reports it: Akamai and Amazon dominate, with regional CDNs beside them.
+func defaultProviders() []*Provider {
+	mk := func(name, prefix string, servers int, diurnal bool, ptr PTRKind, cert CertKind, maxAddrs int) *Provider {
+		return &Provider{
+			Name: name, Prefix: netip.MustParsePrefix(prefix), Servers: servers,
+			Diurnal: diurnal, PTR: ptr, Cert: cert, MaxAddrsPerResponse: maxAddrs,
+		}
+	}
+	return []*Provider{
+		mk("akamai", "23.32.0.0/12", 700, true, PTRProvider, CertProvider, 2),
+		mk("amazon", "54.224.0.0/12", 900, true, PTRProvider, CertWildcard, 8),
+		mk("google", "173.194.0.0/16", 400, true, PTRProvider, CertWildcard, 16),
+		mk("level 3", "8.20.0.0/14", 120, true, PTRNone, CertProvider, 4),
+		mk("leaseweb", "85.17.0.0/16", 80, false, PTRSameSLD, CertNone, 2),
+		mk("cotendo", "64.78.64.0/18", 40, false, PTRNone, CertProvider, 2),
+		mk("edgecast", "93.184.208.0/20", 30, false, PTRProvider, CertProvider, 2),
+		mk("microsoft", "65.52.0.0/14", 250, true, PTRSameSLD, CertWildcard, 4),
+		mk("dedibox", "88.190.0.0/16", 90, false, PTRSameSLD, CertNone, 2),
+		mk("meta", "77.67.0.0/17", 25, false, PTRNone, CertNone, 2),
+		mk("ntt", "128.241.0.0/16", 25, false, PTRNone, CertNone, 2),
+		mk("cdnetworks", "120.29.128.0/17", 60, false, PTRProvider, CertProvider, 4),
+		// Self-hosting content owners.
+		mk("facebook", "69.63.176.0/20", 120, true, PTRSameSLD, CertWildcard, 4),
+		mk("twitter", "199.59.148.0/22", 40, false, PTRSameSLD, CertWildcard, 3),
+		mk("zynga", "166.78.0.0/16", 28, false, PTRSameSLD, CertWildcard, 2),
+		mk("linkedin", "108.174.0.0/20", 12, false, PTRExact, CertExact, 2),
+		mk("dailymotion", "195.8.214.0/24", 20, false, PTRExact, CertNone, 2),
+		mk("dropbox", "174.36.30.0/24", 16, false, PTRSameSLD, CertExact, 2),
+		mk("yahoo", "98.136.0.0/14", 150, false, PTRSameSLD, CertWildcard, 4),
+		mk("apple", "17.0.0.0/8", 200, false, PTRExact, CertWildcard, 4),
+		mk("aol", "64.12.0.0/16", 30, false, PTRSameSLD, CertNone, 2),
+		mk("lindenlab", "216.82.0.0/18", 60, false, PTRExact, CertNone, 2),
+		mk("isp-mail", "62.101.0.0/16", 40, false, PTRExact, CertExact, 2),
+		mk("trackers", "31.172.0.0/16", 50, false, PTRNone, CertNone, 2),
+		mk("opera", "195.189.142.0/23", 20, false, PTRSameSLD, CertNone, 2),
+	}
+}
+
+// OrgDB builds the prefix → organization table the analytics join against
+// (the MaxMind substitute).
+func (u *Universe) OrgDB() *orgdb.DB {
+	var entries []orgdb.Entry
+	for _, p := range u.Providers {
+		entries = append(entries, orgdb.Entry{Prefix: p.Prefix, Org: p.Name})
+	}
+	return orgdb.New(entries)
+}
+
+// ServerAddrs returns the provider's server pool (deterministic addresses
+// carved from its prefix).
+func (u *Universe) ServerAddrs(provider string) []netip.Addr {
+	if addrs, ok := u.serverAddrs[provider]; ok {
+		return addrs
+	}
+	p, ok := u.Providers[provider]
+	if !ok {
+		return nil
+	}
+	base := p.Prefix.Addr().As4()
+	addrs := make([]netip.Addr, 0, p.Servers)
+	for i := 0; i < p.Servers; i++ {
+		// Spread servers across the block: stride through the host bits.
+		off := uint32(i)*2654435761 + uint32(i) // Knuth multiplicative hash
+		hostBits := 32 - p.Prefix.Bits()
+		if hostBits > 24 {
+			hostBits = 24
+		}
+		mask := uint32(1)<<uint(hostBits) - 1
+		off &= mask
+		if off == 0 {
+			off = uint32(i%250) + 1
+		}
+		b := base
+		v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		v |= off
+		addrs = append(addrs, netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}))
+	}
+	// Deduplicate (hash collisions are possible on tiny blocks).
+	seen := make(map[netip.Addr]struct{}, len(addrs))
+	out := addrs[:0]
+	for _, a := range addrs {
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	u.serverAddrs[provider] = out
+	return out
+}
+
+// PTRName returns the reverse-DNS name a provider publishes for one of its
+// servers hosting fqdn, following its PTR policy. ok is false for PTRNone.
+func (u *Universe) PTRName(provider string, addr netip.Addr, fqdn string) (string, bool) {
+	p, ok := u.Providers[provider]
+	if !ok {
+		return "", false
+	}
+	switch p.PTR {
+	case PTRExact:
+		return fqdn, true
+	case PTRSameSLD:
+		a := addr.As4()
+		return fmt.Sprintf("web%d-%d.%s", a[2], a[3], stats.SLD(fqdn)), true
+	case PTRProvider:
+		a := addr.As4()
+		host := strings.ReplaceAll(p.Name, " ", "")
+		return fmt.Sprintf("a%d-%d-%d-%d.deploy.%stechnologies.com", a[0], a[1], a[2], a[3], host), true
+	default:
+		return "", false
+	}
+}
+
+// CertName returns the certificate subject a provider's server presents for
+// fqdn, following its certificate policy. ok is false for CertNone.
+func (u *Universe) CertName(provider string, fqdn string) (string, bool) {
+	p, ok := u.Providers[provider]
+	if !ok {
+		return "", false
+	}
+	switch p.Cert {
+	case CertExact:
+		return fqdn, true
+	case CertWildcard:
+		return "*." + stats.SLD(fqdn), true
+	case CertProvider:
+		host := strings.ReplaceAll(p.Name, " ", "")
+		return fmt.Sprintf("a248.e.%s.net", host), true
+	default:
+		return "", false
+	}
+}
+
+// FindOrg returns the org with the given SLD, or nil.
+func (u *Universe) FindOrg(sld string) *Org {
+	for _, o := range u.Orgs {
+		if o.SLD == sld {
+			return o
+		}
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+// Package tlswire implements the subset of TLS needed by the paper's
+// certificate-inspection baseline (§5.2.1, Table 4): the record layer and
+// the ClientHello (with SNI), ServerHello, and Certificate handshake
+// messages.
+//
+// Certificates on the wire are opaque blobs to TLS; real traffic carries
+// X.509 DER. Generating full X.509 chains (keys, signatures) is irrelevant
+// to the experiment — the baseline only reads the subject name — so the
+// synthesizer emits a minimal DER SEQUENCE holding the subject CommonName,
+// built with encoding/asn1, and the inspector parses exactly that. The
+// substitution is recorded in DESIGN.md.
+package tlswire
+
+import (
+	"encoding/asn1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TLS record content types.
+const (
+	RecordHandshake       = 22
+	RecordApplicationData = 23
+	RecordAlert           = 21
+	RecordChangeCipher    = 20
+)
+
+// Handshake message types.
+const (
+	HandshakeClientHello = 1
+	HandshakeServerHello = 2
+	HandshakeCertificate = 11
+)
+
+// VersionTLS12 is the legacy_version written into records.
+const VersionTLS12 = 0x0303
+
+// Errors returned by the codec.
+var (
+	ErrNotTLS    = errors.New("tlswire: not a TLS record")
+	ErrTruncated = errors.New("tlswire: truncated")
+	ErrMalformed = errors.New("tlswire: malformed handshake")
+)
+
+// minimalCert is the DER structure standing in for an X.509 certificate.
+type minimalCert struct {
+	CommonName string `asn1:"utf8"`
+}
+
+// MarshalCertificate encodes a stand-in certificate whose subject common
+// name is cn. An empty cn is valid (a nameless certificate).
+func MarshalCertificate(cn string) ([]byte, error) {
+	return asn1.Marshal(minimalCert{CommonName: cn})
+}
+
+// ParseCertificate extracts the subject common name from a stand-in
+// certificate produced by MarshalCertificate.
+func ParseCertificate(der []byte) (string, error) {
+	var c minimalCert
+	rest, err := asn1.Unmarshal(der, &c)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("%w: trailing certificate bytes", ErrMalformed)
+	}
+	return c.CommonName, nil
+}
+
+// Record is one TLS record.
+type Record struct {
+	Type    uint8
+	Version uint16
+	Payload []byte
+}
+
+// AppendRecord serializes one record onto b.
+func AppendRecord(b []byte, typ uint8, payload []byte) ([]byte, error) {
+	if len(payload) > 1<<14 {
+		return b, fmt.Errorf("%w: record payload %d > 2^14", ErrMalformed, len(payload))
+	}
+	b = append(b, typ)
+	b = binary.BigEndian.AppendUint16(b, VersionTLS12)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(payload)))
+	return append(b, payload...), nil
+}
+
+// ReadRecord parses one record from the front of data, returning the record
+// and the remaining bytes.
+func ReadRecord(data []byte) (Record, []byte, error) {
+	if len(data) < 5 {
+		return Record{}, data, fmt.Errorf("%w: record header", ErrTruncated)
+	}
+	typ := data[0]
+	if typ < RecordChangeCipher || typ > RecordApplicationData {
+		return Record{}, data, fmt.Errorf("%w: content type %d", ErrNotTLS, typ)
+	}
+	ver := binary.BigEndian.Uint16(data[1:3])
+	if ver>>8 != 3 {
+		return Record{}, data, fmt.Errorf("%w: version %#04x", ErrNotTLS, ver)
+	}
+	n := int(binary.BigEndian.Uint16(data[3:5]))
+	if 5+n > len(data) {
+		return Record{}, data, fmt.Errorf("%w: record body (%d of %d)", ErrTruncated, len(data)-5, n)
+	}
+	return Record{Type: typ, Version: ver, Payload: data[5 : 5+n]}, data[5+n:], nil
+}
+
+// LooksLikeTLS reports whether data plausibly starts a TLS stream — the
+// heuristic the flow classifier uses (handshake record, SSL3+ version).
+func LooksLikeTLS(data []byte) bool {
+	return len(data) >= 3 && data[0] == RecordHandshake && data[1] == 3
+}
+
+// ClientHello is the subset of the ClientHello message the pipeline reads
+// and writes: random, session id, one cipher suite, and the SNI extension.
+type ClientHello struct {
+	// ServerName is the server_name extension value; empty means the
+	// extension is absent.
+	ServerName string
+}
+
+// extensionServerName is the SNI extension number (RFC 6066).
+const extensionServerName = 0
+
+// Marshal encodes the ClientHello as a handshake message body (without the
+// record framing).
+func (ch *ClientHello) Marshal() ([]byte, error) {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, VersionTLS12)
+	body = append(body, make([]byte, 32)...) // random (zero; irrelevant here)
+	body = append(body, 0)                   // session id length
+	body = append(body, 0, 2, 0x13, 0x01)    // one cipher suite
+	body = append(body, 1, 0)                // compression: null
+
+	var exts []byte
+	if ch.ServerName != "" {
+		if len(ch.ServerName) > 0xffff-5 {
+			return nil, fmt.Errorf("%w: server name too long", ErrMalformed)
+		}
+		var sni []byte
+		// server_name_list: one entry of type host_name(0).
+		sni = binary.BigEndian.AppendUint16(sni, uint16(len(ch.ServerName)+3))
+		sni = append(sni, 0)
+		sni = binary.BigEndian.AppendUint16(sni, uint16(len(ch.ServerName)))
+		sni = append(sni, ch.ServerName...)
+		exts = binary.BigEndian.AppendUint16(exts, extensionServerName)
+		exts = binary.BigEndian.AppendUint16(exts, uint16(len(sni)))
+		exts = append(exts, sni...)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(exts)))
+	body = append(body, exts...)
+	return wrapHandshake(HandshakeClientHello, body)
+}
+
+// parseClientHello decodes a ClientHello handshake body.
+func parseClientHello(body []byte) (*ClientHello, error) {
+	ch := &ClientHello{}
+	// version(2) + random(32)
+	if len(body) < 35 {
+		return nil, fmt.Errorf("%w: clienthello fixed part", ErrTruncated)
+	}
+	off := 34
+	sidLen := int(body[off])
+	off++
+	if off+sidLen > len(body) {
+		return nil, fmt.Errorf("%w: session id", ErrTruncated)
+	}
+	off += sidLen
+	if off+2 > len(body) {
+		return nil, fmt.Errorf("%w: cipher suites", ErrTruncated)
+	}
+	csLen := int(binary.BigEndian.Uint16(body[off:]))
+	off += 2 + csLen
+	if off >= len(body) {
+		return nil, fmt.Errorf("%w: compression", ErrTruncated)
+	}
+	compLen := int(body[off])
+	off += 1 + compLen
+	if off+2 > len(body) {
+		return ch, nil // no extensions block: legal
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off:]))
+	off += 2
+	if off+extLen > len(body) {
+		return nil, fmt.Errorf("%w: extensions", ErrTruncated)
+	}
+	exts := body[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		l := int(binary.BigEndian.Uint16(exts[2:4]))
+		if 4+l > len(exts) {
+			return nil, fmt.Errorf("%w: extension body", ErrTruncated)
+		}
+		if typ == extensionServerName && l >= 5 {
+			sni := exts[4 : 4+l]
+			// list length(2) + type(1) + name length(2)
+			nameLen := int(binary.BigEndian.Uint16(sni[3:5]))
+			if 5+nameLen <= len(sni) && sni[2] == 0 {
+				ch.ServerName = string(sni[5 : 5+nameLen])
+			}
+		}
+		exts = exts[4+l:]
+	}
+	return ch, nil
+}
+
+// Certificate is the Certificate handshake message: a chain of opaque
+// certificate blobs, leaf first.
+type Certificate struct {
+	Chain [][]byte
+}
+
+// Marshal encodes the Certificate handshake message body.
+func (c *Certificate) Marshal() ([]byte, error) {
+	var list []byte
+	for _, cert := range c.Chain {
+		if len(cert) > 1<<23 {
+			return nil, fmt.Errorf("%w: certificate too large", ErrMalformed)
+		}
+		list = appendUint24(list, len(cert))
+		list = append(list, cert...)
+	}
+	body := appendUint24(nil, len(list))
+	body = append(body, list...)
+	return wrapHandshake(HandshakeCertificate, body)
+}
+
+func parseCertificate(body []byte) (*Certificate, error) {
+	if len(body) < 3 {
+		return nil, fmt.Errorf("%w: certificate list length", ErrTruncated)
+	}
+	listLen := uint24(body)
+	body = body[3:]
+	if listLen > len(body) {
+		return nil, fmt.Errorf("%w: certificate list", ErrTruncated)
+	}
+	body = body[:listLen]
+	c := &Certificate{}
+	for len(body) > 0 {
+		if len(body) < 3 {
+			return nil, fmt.Errorf("%w: certificate entry length", ErrTruncated)
+		}
+		n := uint24(body)
+		body = body[3:]
+		if n > len(body) {
+			return nil, fmt.Errorf("%w: certificate entry", ErrTruncated)
+		}
+		c.Chain = append(c.Chain, body[:n])
+		body = body[n:]
+	}
+	return c, nil
+}
+
+// ServerHello is a minimal ServerHello used by the synthesizer to complete
+// the handshake shape on the wire.
+type ServerHello struct{}
+
+// Marshal encodes a fixed minimal ServerHello handshake message.
+func (sh *ServerHello) Marshal() ([]byte, error) {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, VersionTLS12)
+	body = append(body, make([]byte, 32)...)
+	body = append(body, 0)          // session id
+	body = append(body, 0x13, 0x01) // cipher
+	body = append(body, 0)          // compression
+	return wrapHandshake(HandshakeServerHello, body)
+}
+
+func wrapHandshake(typ uint8, body []byte) ([]byte, error) {
+	if len(body) > 1<<23 {
+		return nil, fmt.Errorf("%w: handshake body too large", ErrMalformed)
+	}
+	out := []byte{typ}
+	out = appendUint24(out, len(body))
+	return append(out, body...), nil
+}
+
+func appendUint24(b []byte, v int) []byte {
+	return append(b, byte(v>>16), byte(v>>8), byte(v))
+}
+
+func uint24(b []byte) int {
+	return int(b[0])<<16 | int(b[1])<<8 | int(b[2])
+}
+
+// HandshakeInfo is what the sniffer extracts from the first bytes of a TLS
+// stream in each direction.
+type HandshakeInfo struct {
+	// SNI from the ClientHello, if present (client->server direction).
+	SNI string
+	// CertificateNames holds the subject common names of the certificate
+	// chain, leaf first (server->client direction). Empty when the server
+	// sent no Certificate message (e.g. session resumption).
+	CertificateNames []string
+}
+
+// InspectStream walks the TLS records at the start of a reassembled stream
+// prefix and extracts ClientHello SNI and Certificate subject names. It
+// stops at the first non-handshake record, a partial record, or malformed
+// data, returning whatever it found; inspection is best-effort exactly like
+// a passive DPI device.
+func InspectStream(data []byte) HandshakeInfo {
+	var info HandshakeInfo
+	for len(data) > 0 {
+		rec, rest, err := ReadRecord(data)
+		if err != nil || rec.Type != RecordHandshake {
+			return info
+		}
+		hs := rec.Payload
+		for len(hs) >= 4 {
+			typ := hs[0]
+			n := uint24(hs[1:4])
+			if 4+n > len(hs) {
+				return info
+			}
+			body := hs[4 : 4+n]
+			switch typ {
+			case HandshakeClientHello:
+				if ch, err := parseClientHello(body); err == nil {
+					info.SNI = ch.ServerName
+				}
+			case HandshakeCertificate:
+				if c, err := parseCertificate(body); err == nil {
+					for _, der := range c.Chain {
+						if cn, err := ParseCertificate(der); err == nil {
+							info.CertificateNames = append(info.CertificateNames, cn)
+						}
+					}
+				}
+			}
+			hs = hs[4+n:]
+		}
+		data = rest
+	}
+	return info
+}

@@ -1,0 +1,244 @@
+package tlswire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCertificateMarshalParse(t *testing.T) {
+	for _, cn := range []string{"www.example.com", "*.google.com", "a248.e.akamai.net", ""} {
+		der, err := MarshalCertificate(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseCertificate(der)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cn {
+			t.Fatalf("cn = %q, want %q", got, cn)
+		}
+	}
+}
+
+func TestParseCertificateRejectsGarbage(t *testing.T) {
+	if _, err := ParseCertificate([]byte{0xff, 0x00, 0x01}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseCertificateRejectsTrailing(t *testing.T) {
+	der, err := MarshalCertificate("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseCertificate(append(der, 0)); err == nil {
+		t.Fatal("expected error for trailing bytes")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	payload := []byte("handshake bytes")
+	raw, err := AppendRecord(nil, RecordHandshake, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, rest, err := ReadRecord(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecordHandshake || string(rec.Payload) != string(payload) || len(rest) != 0 {
+		t.Fatalf("rec = %+v rest = %v", rec, rest)
+	}
+}
+
+func TestReadRecordErrors(t *testing.T) {
+	if _, _, err := ReadRecord([]byte{22, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, _, err := ReadRecord([]byte{99, 3, 3, 0, 0}); !errors.Is(err, ErrNotTLS) {
+		t.Fatalf("bad type: %v", err)
+	}
+	if _, _, err := ReadRecord([]byte{22, 9, 3, 0, 0}); !errors.Is(err, ErrNotTLS) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, _, err := ReadRecord([]byte{22, 3, 3, 0, 10, 1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short body: %v", err)
+	}
+}
+
+func TestAppendRecordTooLarge(t *testing.T) {
+	if _, err := AppendRecord(nil, RecordHandshake, make([]byte, 1<<14+1)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLooksLikeTLS(t *testing.T) {
+	if !LooksLikeTLS([]byte{22, 3, 1, 0, 0}) {
+		t.Fatal("handshake record should look like TLS")
+	}
+	if LooksLikeTLS([]byte("GET / HTTP/1.1")) {
+		t.Fatal("HTTP should not look like TLS")
+	}
+	if LooksLikeTLS([]byte{22}) {
+		t.Fatal("too-short data should not look like TLS")
+	}
+}
+
+func TestClientHelloSNIRoundTrip(t *testing.T) {
+	ch := &ClientHello{ServerName: "mail.google.com"}
+	hs, err := ch.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := AppendRecord(nil, RecordHandshake, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := InspectStream(raw)
+	if info.SNI != "mail.google.com" {
+		t.Fatalf("SNI = %q", info.SNI)
+	}
+}
+
+func TestClientHelloNoSNI(t *testing.T) {
+	ch := &ClientHello{}
+	hs, err := ch.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := AppendRecord(nil, RecordHandshake, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := InspectStream(raw); info.SNI != "" {
+		t.Fatalf("SNI = %q, want empty", info.SNI)
+	}
+}
+
+func TestServerSideCertificateFlow(t *testing.T) {
+	sh, err := (&ServerHello{}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := MarshalCertificate("*.zynga.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := MarshalCertificate("Intermediate CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := (&Certificate{Chain: [][]byte{leaf, inter}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ServerHello and Certificate coalesced in one record, like real stacks.
+	raw, err := AppendRecord(nil, RecordHandshake, append(sh, cert...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := InspectStream(raw)
+	if len(info.CertificateNames) != 2 || info.CertificateNames[0] != "*.zynga.com" {
+		t.Fatalf("names = %v", info.CertificateNames)
+	}
+}
+
+func TestCertificateAcrossTwoRecords(t *testing.T) {
+	sh, err := (&ServerHello{}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := MarshalCertificate("www.dropbox.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := (&Certificate{Chain: [][]byte{leaf}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := AppendRecord(nil, RecordHandshake, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = AppendRecord(raw, RecordHandshake, cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := InspectStream(raw)
+	if len(info.CertificateNames) != 1 || info.CertificateNames[0] != "www.dropbox.com" {
+		t.Fatalf("names = %v", info.CertificateNames)
+	}
+}
+
+func TestInspectStopsAtApplicationData(t *testing.T) {
+	ch := &ClientHello{ServerName: "x.com"}
+	hs, err := ch.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := AppendRecord(nil, RecordApplicationData, []byte("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := AppendRecord(raw, RecordHandshake, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handshake record comes after app data, so inspection finds nothing.
+	if info := InspectStream(raw2); info.SNI != "" {
+		t.Fatalf("SNI = %q, want empty", info.SNI)
+	}
+}
+
+func TestInspectPartialRecord(t *testing.T) {
+	ch := &ClientHello{ServerName: "partial.example.com"}
+	hs, err := ch.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := AppendRecord(nil, RecordHandshake, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-record: inspection must return cleanly with nothing found.
+	if info := InspectStream(raw[:len(raw)/2]); info.SNI != "" {
+		t.Fatalf("SNI = %q from a partial record", info.SNI)
+	}
+}
+
+func TestInspectNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_ = InspectStream(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSNIRoundTrip(t *testing.T) {
+	const alpha = "abcdefghijklmnopqrstuvwxyz"
+	f := func(a byte, n uint8) bool {
+		var sb strings.Builder
+		l := 1 + int(n)%40
+		for i := 0; i < l; i++ {
+			sb.WriteByte(alpha[(int(a)+i)%len(alpha)])
+		}
+		name := sb.String() + ".example.com"
+		hs, err := (&ClientHello{ServerName: name}).Marshal()
+		if err != nil {
+			return false
+		}
+		raw, err := AppendRecord(nil, RecordHandshake, hs)
+		if err != nil {
+			return false
+		}
+		return InspectStream(raw).SNI == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package dnhunter
+
+// Integration tests of the public facade: generate → run → analyze, plus
+// the pcap path used by the CLI tools.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/netio"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tr := GenerateQuickTrace(21)
+	res := RunTrace(tr, Options{KeepDNSTimes: true})
+	if res.DB.Len() < 100 {
+		t.Fatalf("flows = %d", res.DB.Len())
+	}
+	if res.Stats.LabeledFlows == 0 || res.Stats.DNSResponses == 0 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if len(res.DNSTimes) != int(res.Stats.DNSResponses) {
+		t.Fatalf("DNS times %d vs responses %d", len(res.DNSTimes), res.Stats.DNSResponses)
+	}
+	cov := res.DB.Coverage(0)
+	if cov.Ratio(flows.L7HTTP) < 0.8 {
+		t.Fatalf("HTTP coverage = %v", cov.Ratio(flows.L7HTTP))
+	}
+}
+
+func TestFacadeDeterministicAcrossRuns(t *testing.T) {
+	a := RunTrace(GenerateQuickTrace(5), Options{})
+	b := RunTrace(GenerateQuickTrace(5), Options{})
+	if a.DB.Len() != b.DB.Len() || a.Stats.LabeledFlows != b.Stats.LabeledFlows {
+		t.Fatalf("non-deterministic: %d/%d labeled %d/%d",
+			a.DB.Len(), b.DB.Len(), a.Stats.LabeledFlows, b.Stats.LabeledFlows)
+	}
+}
+
+func TestFacadeTagExtraction(t *testing.T) {
+	tr := GenerateTrace("EU1-FTTH", 0.2, 11)
+	res := RunTrace(tr, Options{})
+	tags := ExtractTags(res.DB, 25, 5)
+	if len(tags) == 0 {
+		t.Fatal("no tags on port 25")
+	}
+}
+
+func TestFacadeSpatialAndContent(t *testing.T) {
+	tr := GenerateTrace("US-3G", 0.3, 13)
+	res := RunTrace(tr, Options{})
+	sp := SpatialDiscovery(res.DB, tr.OrgDB, "zynga.com")
+	if sp.TotalFlows == 0 || len(sp.Hosts) == 0 {
+		t.Fatalf("spatial = %+v", sp)
+	}
+	top := TopDomainsOnOrg(res.DB, tr.OrgDB, "amazon", 5)
+	if len(top) == 0 {
+		t.Fatal("no amazon-hosted content found")
+	}
+}
+
+func TestFacadePcapRoundTrip(t *testing.T) {
+	// Serialize a trace to pcap bytes, then run the pipeline through the
+	// pcap reader — the cmd/dnhunter path.
+	tr := GenerateQuickTrace(31)
+	var buf bytes.Buffer
+	w := netio.NewWriter(&buf)
+	for _, p := range tr.Packets {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := netio.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, st, err := RunPcap(r, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same trace through the in-memory path must agree exactly.
+	direct := RunTrace(tr, Options{})
+	if db.Len() != direct.DB.Len() || st.LabeledFlows != direct.Stats.LabeledFlows {
+		t.Fatalf("pcap path diverges: %d/%d flows, %d/%d labeled",
+			db.Len(), direct.DB.Len(), st.LabeledFlows, direct.Stats.LabeledFlows)
+	}
+}
+
+func TestFacadePolicyBeforeFlow(t *testing.T) {
+	tr := GenerateQuickTrace(17)
+	policy := NewPolicy(Rule{Pattern: "zynga.com", Action: ActionBlock})
+	var atSYN, total int
+	RunTrace(tr, Options{OnTag: func(e TagEvent) {
+		if policy.Decide(e.Label) == ActionBlock {
+			total++
+			if e.SYN {
+				atSYN++
+			}
+		}
+	}})
+	if total == 0 {
+		t.Skip("no zynga flows in this small trace")
+	}
+	if atSYN != total {
+		t.Fatalf("only %d/%d blocked flows caught at the SYN", atSYN, total)
+	}
+}
+
+func TestScenarioNamesStable(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 5 || names[0] != "US-3G" {
+		t.Fatalf("names = %v", names)
+	}
+	// Returned slice is a copy.
+	names[0] = "mutated"
+	if ScenarioNames()[0] != "US-3G" {
+		t.Fatal("ScenarioNames exposes internal state")
+	}
+}
+
+func TestFirstFlowDelaysPlausible(t *testing.T) {
+	tr := GenerateTrace("EU1-FTTH", 0.2, 19)
+	res := RunTrace(tr, Options{})
+	n, fast := 0, 0
+	for _, f := range res.DB.All() {
+		if f.FirstAfterDNS {
+			n++
+			if f.DNSDelay <= time.Second {
+				fast++
+			}
+		}
+	}
+	if n < 50 {
+		t.Fatalf("only %d first-after-DNS flows", n)
+	}
+	if frac := float64(fast) / float64(n); frac < 0.6 {
+		t.Fatalf("fast first-flow fraction = %v", frac)
+	}
+}
