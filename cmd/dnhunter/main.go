@@ -1,22 +1,27 @@
 // Command dnhunter runs the real-time sniffer pipeline over a pcap file:
 // it decodes DNS responses into the resolver (the clients' cache replica),
 // reconstructs and tags flows, and writes the labeled flow database as CSV.
+// With -shards > 1 packets are hashed by client address onto parallel
+// pipeline shards; the labeled flows and statistics are identical to a
+// single-threaded run (CSV row order may differ).
 //
 // Usage:
 //
-//	dnhunter -pcap trace.pcap -out flows.csv [-clist 1048576] [-stats]
+//	dnhunter -pcap trace.pcap -out flows.csv [-shards 8] [-clist 1048576] [-stats]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/core"
+	dnhunter "repro"
 	"repro/internal/flows"
 	"repro/internal/netio"
-	"repro/internal/resolver"
 )
 
 func main() {
@@ -24,7 +29,8 @@ func main() {
 	log.SetPrefix("dnhunter: ")
 	pcapPath := flag.String("pcap", "", "input pcap file (required)")
 	outPath := flag.String("out", "flows.csv", "output CSV of labeled flows")
-	clist := flag.Int("clist", 1<<20, "resolver Clist size L")
+	shards := flag.Int("shards", 1, "parallel pipeline shards (-1 = one per CPU)")
+	clist := flag.Int("clist", 1<<20, "resolver Clist size L (per shard)")
 	history := flag.Int("history", 0, "multi-label history per (client,server) key")
 	showStats := flag.Bool("stats", true, "print pipeline statistics")
 	flag.Parse()
@@ -32,6 +38,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Ctrl-C cancels the run instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	in, err := os.Open(*pcapPath)
 	if err != nil {
@@ -43,10 +53,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	h := core.New(core.Config{
-		Resolver: resolver.Config{ClistSize: *clist, History: *history},
-	})
-	if err := h.Run(src); err != nil {
+	eng := dnhunter.NewEngine(
+		dnhunter.WithShards(*shards),
+		dnhunter.WithResolver(dnhunter.ResolverConfig{ClistSize: *clist, History: *history}),
+	)
+	res, err := eng.Run(ctx, src)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -55,12 +67,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer out.Close()
-	if err := h.DB().WriteCSV(out); err != nil {
+	if err := res.DB.WriteCSV(out); err != nil {
 		log.Fatal(err)
 	}
 
 	if *showStats {
-		st := h.Stats()
+		st := res.Stats
 		fmt.Printf("packets: %d frames (%d TCP, %d UDP, %d malformed)\n",
 			st.Parser.Frames, st.Parser.TCPSegments, st.Parser.UDPDatagram, st.Parser.Malformed)
 		fmt.Printf("dns: %d responses (%d empty, %d malformed), useless %.0f%%\n",
@@ -68,14 +80,14 @@ func main() {
 		fmt.Printf("resolver: %s\n", st.Resolver)
 		fmt.Printf("flows: %d total, %d labeled (%.1f%%)\n",
 			st.Flows, st.LabeledFlows, 100*float64(st.LabeledFlows)/float64(max64(st.Flows, 1)))
-		cov := h.DB().Coverage(0)
+		cov := res.DB.Coverage(0)
 		for _, p := range []flows.L7Proto{flows.L7HTTP, flows.L7TLS, flows.L7P2P, flows.L7Unknown} {
 			if cov.Total[p] > 0 {
 				fmt.Printf("  %-5s %6d flows, %5.1f%% labeled\n", p, cov.Total[p], 100*cov.Ratio(p))
 			}
 		}
 	}
-	fmt.Printf("wrote %s (%d flows)\n", *outPath, h.DB().Len())
+	fmt.Printf("wrote %s (%d flows, %d shards)\n", *outPath, res.DB.Len(), eng.Shards())
 }
 
 func max64(a, b uint64) uint64 {

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-scale 1.0] [-seed 1] [-live-days 18] [-only T2,F4,...]
+//	experiments [-scale 1.0] [-seed 1] [-shards 1] [-live-days 18] [-only T2,F4,...]
 //
 // Experiment ids: T1–T9 (tables), F3–F14 (figures), A (ablations).
+// -shards parallelizes the pipeline runs; results are identical at any
+// shard count.
 package main
 
 import (
@@ -21,11 +23,13 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "client-count scale factor (1.0 ≈ a few hundred clients)")
 	seed := flag.Uint64("seed", 1, "random seed; same seed reproduces identical traces")
+	shards := flag.Int("shards", 1, "parallel pipeline shards (-1 = one per CPU)")
 	liveDays := flag.Int("live-days", 18, "event-mode live window in days (Figs. 6/10/11, Table 8)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	flag.Parse()
 
 	s := experiments.NewSuite(*scale, *seed)
+	s.Shards = *shards
 	s.LiveDays = *liveDays
 
 	want := map[string]bool{}

@@ -7,7 +7,9 @@
 // before the flow's first payload byte, and regardless of encryption. The
 // library exposes:
 //
-//   - the real-time pipeline (packet source → DNS resolver → flow tagger),
+//   - the real-time pipeline as a concurrent, sharded Engine (packet
+//     source → DNS resolver → flow tagger, hashed by client address onto
+//     parallel shards),
 //   - the off-line analytics (spatial discovery, content discovery,
 //     service-tag extraction),
 //   - a synthetic ISP workload generator standing in for the paper's
@@ -18,14 +20,24 @@
 // Quick start:
 //
 //	trace := dnhunter.GenerateTrace("EU1-FTTH", 0.2, 1)
-//	res := dnhunter.RunTrace(trace, dnhunter.Options{})
+//	eng := dnhunter.NewEngine(dnhunter.WithShards(-1)) // one shard per CPU
+//	res, err := eng.RunTrace(context.Background(), trace)
+//	if err != nil { ... }
 //	fmt.Println(res.Stats.Resolver)           // hit ratio etc.
 //	for _, f := range res.DB.All()[:10] {
 //	    fmt.Println(f.Key, f.Label)
 //	}
+//
+// Any shard count yields the same flow set and aggregate statistics (as
+// long as the per-shard resolver Clist never overflows; see WithShards);
+// one shard reproduces the deterministic single-threaded pipeline
+// exactly. Event consumers implement the Sink interface (see WithSink);
+// the legacy single-threaded Pipeline, Options and RunTrace remain as
+// deprecated wrappers over the Engine.
 package dnhunter
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/analytics"
@@ -40,9 +52,14 @@ import (
 
 // Re-exported types: the facade keeps downstream imports to one package.
 type (
-	// Pipeline is the assembled DN-Hunter instance.
+	// Pipeline is the assembled single-threaded DN-Hunter instance.
+	//
+	// Deprecated: use Engine, which adds sharded parallelism, context
+	// cancellation, and error returns.
 	Pipeline = core.DNHunter
 	// Config assembles a Pipeline.
+	//
+	// Deprecated: configure an Engine with Option values instead.
 	Config = core.Config
 	// Stats aggregates pipeline counters.
 	Stats = core.Stats
@@ -81,7 +98,10 @@ const (
 	ActionBlock        = core.ActionBlock
 )
 
-// NewPipeline assembles a DN-Hunter pipeline.
+// NewPipeline assembles a single-threaded DN-Hunter pipeline.
+//
+// Deprecated: use NewEngine; the Engine with one shard is the same
+// pipeline with context support and error returns.
 func NewPipeline(cfg Config) *Pipeline { return core.New(cfg) }
 
 // NewPolicy builds an ordered policy rule set.
@@ -102,6 +122,9 @@ func GenerateQuickTrace(seed uint64) *Trace {
 func ScenarioNames() []string { return append([]string(nil), synth.ScenarioNames...) }
 
 // Options tunes RunTrace.
+//
+// Deprecated: configure an Engine with Option values; OnTag becomes a Sink
+// (WithSink), KeepDNSTimes becomes WithDNSTimes.
 type Options struct {
 	// Resolver overrides the resolver configuration (defaults: 1M-entry
 	// Clist, hash maps).
@@ -119,33 +142,38 @@ type Result struct {
 	Stats    Stats
 	DNSTimes []time.Duration
 	Trace    *Trace
+	// Err records a pipeline failure for callers of the deprecated,
+	// non-error-returning RunTrace wrapper. Engine.Run reports errors
+	// directly and never sets it.
+	Err error
 }
 
 // RunTrace replays a synthetic trace through the full pipeline (parser →
 // resolver → tagger) and returns the labeled flow database and statistics.
+//
+// Deprecated: use Engine.RunTrace, which shards across cores, honors a
+// context, and returns errors. This wrapper runs one shard and reports a
+// failure (impossible with in-memory traces) via Result.Err.
 func RunTrace(tr *Trace, opts Options) *Result {
-	res := &Result{Trace: tr}
-	cfg := Config{
-		Resolver: opts.Resolver,
-		OnTag:    opts.OnTag,
-		Truth:    tr.TruthFunc(),
+	eopts := []Option{WithResolver(opts.Resolver)}
+	if opts.OnTag != nil {
+		eopts = append(eopts, WithSink(&FuncSink{Tag: opts.OnTag}))
 	}
 	if opts.KeepDNSTimes {
-		cfg.OnDNSResponse = func(e DNSEvent) { res.DNSTimes = append(res.DNSTimes, e.At) }
+		eopts = append(eopts, WithDNSTimes())
 	}
-	h := core.New(cfg)
-	if err := h.Run(tr.Source()); err != nil {
-		// SlicePacketSource never fails; a non-nil error indicates a
-		// programming bug worth surfacing loudly in experiments.
-		panic(err)
+	res, err := NewEngine(eopts...).RunTrace(context.Background(), tr)
+	if err != nil {
+		return &Result{Trace: tr, Err: err}
 	}
-	res.DB = h.DB()
-	res.Stats = h.Stats()
 	return res
 }
 
-// RunPcap runs the pipeline over any packet source (e.g. a netio.Reader
-// over a pcap file) and returns the database and stats.
+// RunPcap runs the single-threaded pipeline over any packet source (e.g. a
+// netio.Reader over a pcap file) and returns the database and stats.
+//
+// Deprecated: use Engine.Run, which shards across cores and honors a
+// context.
 func RunPcap(src netio.PacketSource, cfg Config) (*FlowDB, Stats, error) {
 	h := core.New(cfg)
 	if err := h.Run(src); err != nil {
@@ -164,7 +192,8 @@ func SpatialDiscovery(db *FlowDB, odb *OrgDB, name string) *analytics.SpatialRes
 	return analytics.SpatialDiscovery(db, odb, name)
 }
 
-// ContentDiscovery runs Algorithm 3 over a hosting organization.
+// TopDomainsOnOrg runs Algorithm 3 (content discovery) over a hosting
+// organization, returning its top-k served domains by flow share.
 func TopDomainsOnOrg(db *FlowDB, odb *OrgDB, org string, k int) []analytics.ContentShare {
 	return analytics.TopDomainsOnOrg(db, odb, org, k)
 }

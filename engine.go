@@ -1,0 +1,172 @@
+package dnhunter
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flows"
+	"repro/internal/netio"
+)
+
+// Sink re-exports and adapters: the event-stream interface that replaces
+// the legacy Options.OnTag / Config.OnDNSResponse callback fields.
+type (
+	// Sink receives pipeline events (tags, DNS responses, finished flows)
+	// and a Close at end of run. Embed NopSink to implement it partially.
+	Sink = core.Sink
+	// NopSink ignores every event; embed it in custom sinks.
+	NopSink = core.NopSink
+	// FuncSink adapts plain functions to the Sink interface.
+	FuncSink = core.FuncSink
+	// FlowsConfig tunes the flow table (idle timeout, client networks).
+	FlowsConfig = flows.Config
+	// PacketSource yields packets in capture order (pcap reader, in-memory
+	// slice, channel, ...).
+	PacketSource = netio.PacketSource
+)
+
+// MultiSink fans events out to several sinks in order.
+func MultiSink(sinks ...Sink) Sink { return core.MultiSink(sinks...) }
+
+// SyncSink serializes a sink behind a mutex; the Engine already does this
+// for its own shards, so it is only needed when one sink is shared across
+// independently running pipelines.
+func SyncSink(s Sink) Sink { return core.SyncSink(s) }
+
+// engineOptions is the accumulated functional-option state.
+type engineOptions struct {
+	cfg          core.EngineConfig
+	keepDNSTimes bool
+}
+
+// Option configures an Engine.
+type Option func(*engineOptions)
+
+// WithShards sets the number of parallel pipeline shards. Packets are
+// hashed by client address onto shards, each owning its own resolver
+// Clist, flow table, and pending-tag map. 1 (the default) reproduces the
+// deterministic single-threaded pipeline exactly; any n produces the
+// identical flow set and aggregate statistics as long as the per-shard
+// Clist never overflows (evictions are per-shard, so an overflowing
+// Clist labels slightly differently across shard counts — size it to the
+// workload; the 1M-entry default has ample headroom). Pass a negative
+// value to use one shard per available CPU.
+func WithShards(n int) Option {
+	return func(o *engineOptions) { o.cfg.Shards = n }
+}
+
+// WithResolver overrides the per-shard resolver configuration (defaults:
+// 1M-entry Clist, hash maps).
+func WithResolver(cfg ResolverConfig) Option {
+	return func(o *engineOptions) { o.cfg.Resolver = cfg }
+}
+
+// WithFlows overrides the per-shard flow-table configuration (idle
+// timeout, client networks). The Engine owns the table's record plumbing
+// and sweep scheduling, so the OnRecord and DisableAutoSweep fields are
+// ignored — observe finished flows through Sink.OnFlow instead.
+func WithFlows(cfg FlowsConfig) Option {
+	return func(o *engineOptions) { o.cfg.Flows = cfg }
+}
+
+// WithSink attaches the event sink. The Engine serializes all sink calls
+// within a run, so implementations need no internal locking; Close fires
+// exactly once per Run. A Sink instance belongs to one run at a time — an
+// Engine with a sink must not run concurrently with itself.
+func WithSink(s Sink) Option {
+	return func(o *engineOptions) { o.cfg.Sink = s }
+}
+
+// WithBatch sets the dispatcher→shard hand-off size (packets per batch,
+// default 512). Only meaningful with more than one shard.
+func WithBatch(n int) Option {
+	return func(o *engineOptions) { o.cfg.Batch = n }
+}
+
+// WithTruth supplies ground-truth FQDNs for flows (used only for scoring,
+// never for labeling). Engine.RunTrace wires this automatically from the
+// trace sidecar.
+func WithTruth(fn func(FlowKey) string) Option {
+	return func(o *engineOptions) { o.cfg.Truth = fn }
+}
+
+// WithDNSTimes collects DNS response timestamps into Result.DNSTimes
+// (needed by the Fig. 14 experiment).
+func WithDNSTimes() Option {
+	return func(o *engineOptions) { o.keepDNSTimes = true }
+}
+
+// Engine is the concurrent DN-Hunter pipeline: the replacement for the
+// single-threaded Pipeline/RunTrace API. An Engine is an immutable
+// configuration handle — every Run builds fresh per-shard state and a
+// fresh flow database, so one Engine may be reused across traces, even
+// concurrently unless a Sink is configured (a Sink instance belongs to
+// one run at a time).
+//
+//	eng := dnhunter.NewEngine(dnhunter.WithShards(-1))
+//	res, err := eng.RunTrace(ctx, trace)
+type Engine struct {
+	opts   engineOptions
+	shards int
+}
+
+// NewEngine assembles an Engine from functional options. The shard count
+// is resolved here (0 → 1, negative → GOMAXPROCS at construction time).
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(&e.opts)
+	}
+	e.opts.cfg.Shards = core.NewEngine(e.opts.cfg).Shards()
+	e.shards = e.opts.cfg.Shards
+	return e
+}
+
+// Shards reports the resolved shard count.
+func (e *Engine) Shards() int { return e.shards }
+
+// Run drains the packet source through the pipeline and returns the merged
+// labeled-flow database and statistics. It stops early with ctx.Err() when
+// the context is cancelled; the sink's Close always fires exactly once.
+func (e *Engine) Run(ctx context.Context, src PacketSource) (*Result, error) {
+	return e.run(ctx, src, nil)
+}
+
+// RunTrace runs a synthetic trace through the pipeline, wiring the trace's
+// ground-truth sidecar for scoring.
+func (e *Engine) RunTrace(ctx context.Context, tr *Trace) (*Result, error) {
+	res, err := e.run(ctx, tr.Source(), tr.TruthFunc())
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = tr
+	return res, nil
+}
+
+func (e *Engine) run(ctx context.Context, src PacketSource, truth func(FlowKey) string) (*Result, error) {
+	cfg := e.opts.cfg
+	if cfg.Truth == nil {
+		cfg.Truth = truth
+	}
+	res := &Result{}
+	if e.opts.keepDNSTimes {
+		collector := &FuncSink{DNS: func(ev DNSEvent) { res.DNSTimes = append(res.DNSTimes, ev.At) }}
+		if cfg.Sink != nil {
+			cfg.Sink = MultiSink(cfg.Sink, collector)
+		} else {
+			cfg.Sink = collector
+		}
+	}
+	eng := core.NewEngine(cfg)
+	out, err := eng.Run(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	res.DB, res.Stats = out.DB, out.Stats
+	if eng.Shards() > 1 {
+		// Shards deliver DNS events interleaved; restore trace order.
+		sort.Slice(res.DNSTimes, func(i, j int) bool { return res.DNSTimes[i] < res.DNSTimes[j] })
+	}
+	return res, nil
+}

@@ -5,14 +5,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	dnhunter "repro"
 )
 
 func main() {
 	trace := dnhunter.GenerateTrace("US-3G", 0.6, 3)
-	res := dnhunter.RunTrace(trace, dnhunter.Options{})
+	res, err := dnhunter.NewEngine(dnhunter.WithShards(-1)).RunTrace(context.Background(), trace)
+	if err != nil {
+		log.Fatal(err)
+	}
 	db, orgs := res.DB, trace.OrgDB
 
 	// Spatial discovery (Algorithm 2): who serves zynga.com?

@@ -3,13 +3,43 @@
 // so neither DPI signatures nor IP filters can separate them — but the
 // DNS-derived label can, and it is available at the SYN, before any
 // payload byte, so even the handshake can be policed.
+//
+// The enforcer is written as a dnhunter.Sink attached with WithSink: the
+// Engine delivers every flow-start tag event to it, serialized even when
+// the pipeline runs sharded across cores.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	dnhunter "repro"
 )
+
+// enforcer is the online policy hook: a Sink that decides at flow start.
+// It embeds NopSink and overrides only the event it cares about; the
+// Engine serializes sink calls, so plain counters are safe at any shard
+// count.
+type enforcer struct {
+	dnhunter.NopSink
+	policy                       *dnhunter.Policy
+	blocked, prioritized, preSYN int
+}
+
+// OnTag fires when a flow's FIRST packet arrives; e.SYN says we caught the
+// three-way handshake itself.
+func (e *enforcer) OnTag(ev dnhunter.TagEvent) {
+	switch e.policy.Decide(ev.Label) {
+	case dnhunter.ActionBlock:
+		e.blocked++
+		if ev.SYN {
+			e.preSYN++
+		}
+	case dnhunter.ActionPrioritize:
+		e.prioritized++
+	}
+}
 
 func main() {
 	policy := dnhunter.NewPolicy(
@@ -20,29 +50,19 @@ func main() {
 
 	trace := dnhunter.GenerateTrace("EU1-FTTH", 0.3, 7)
 
-	type verdict struct {
-		blocked, prioritized, preSYN int
+	enf := &enforcer{policy: policy}
+	eng := dnhunter.NewEngine(
+		dnhunter.WithShards(4),
+		dnhunter.WithSink(enf),
+	)
+	res, err := eng.RunTrace(context.Background(), trace)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var v verdict
-	res := dnhunter.RunTrace(trace, dnhunter.Options{
-		OnTag: func(e dnhunter.TagEvent) {
-			// This callback fires when the flow's FIRST packet arrives;
-			// e.SYN says we caught the three-way handshake itself.
-			switch policy.Decide(e.Label) {
-			case dnhunter.ActionBlock:
-				v.blocked++
-				if e.SYN {
-					v.preSYN++
-				}
-			case dnhunter.ActionPrioritize:
-				v.prioritized++
-			}
-		},
-	})
 
 	fmt.Printf("flows: %d total, %d labeled\n", res.Stats.Flows, res.Stats.LabeledFlows)
-	fmt.Printf("blocked (zynga.com): %d flows, %d of them at the SYN\n", v.blocked, v.preSYN)
-	fmt.Printf("prioritized (dropbox.com): %d flows\n", v.prioritized)
+	fmt.Printf("blocked (zynga.com): %d flows, %d of them at the SYN\n", enf.blocked, enf.preSYN)
+	fmt.Printf("prioritized (dropbox.com): %d flows\n", enf.prioritized)
 
 	// Show why DPI and IP filtering fail here: blocked and prioritized
 	// flows come out of the same hosting organization's address block.

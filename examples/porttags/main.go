@@ -5,14 +5,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	dnhunter "repro"
 )
 
 func main() {
 	trace := dnhunter.GenerateTrace("US-3G", 0.6, 9)
-	res := dnhunter.RunTrace(trace, dnhunter.Options{})
+	res, err := dnhunter.NewEngine(dnhunter.WithShards(4)).RunTrace(context.Background(), trace)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("what runs on these ports? (token, Eq.1 score)")
 	ports := []uint16{25, 110, 1337, 2710, 5222, 5228, 6969, 12043}

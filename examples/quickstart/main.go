@@ -1,10 +1,12 @@
-// Quickstart: generate a small synthetic ISP trace, run the DN-Hunter
-// pipeline over its packets, and print labeled flows plus the headline
-// statistics — the minimal end-to-end tour of the public API.
+// Quickstart: generate a small synthetic ISP trace, run the sharded
+// DN-Hunter Engine over its packets, and print labeled flows plus the
+// headline statistics — the minimal end-to-end tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	dnhunter "repro"
 )
@@ -17,9 +19,16 @@ func main() {
 		len(trace.Packets), trace.Flows, trace.DNSResponses)
 
 	// Run the full pipeline: parse packets, replicate the clients' DNS
-	// caches, tag each flow at its first packet.
-	res := dnhunter.RunTrace(trace, dnhunter.Options{})
+	// caches, tag each flow at its first packet. WithShards(-1) hashes
+	// clients across one pipeline shard per CPU; the results are identical
+	// to a single-threaded run.
+	eng := dnhunter.NewEngine(dnhunter.WithShards(-1))
+	res, err := eng.RunTrace(context.Background(), trace)
+	if err != nil {
+		log.Fatal(err)
+	}
 
+	fmt.Printf("ran on %d shards\n\n", eng.Shards())
 	fmt.Println("first ten labeled flows:")
 	shown := 0
 	for _, f := range res.DB.All() {

@@ -52,9 +52,23 @@ type Config struct {
 	OnTag func(TagEvent)
 	// OnDNSResponse, when set, fires for every decoded DNS response.
 	OnDNSResponse func(DNSEvent)
+	// OnFlow, when set, fires for every finished labeled flow, after it is
+	// stored in the database.
+	OnFlow func(flowdb.LabeledFlow)
 	// Truth, when set, supplies ground-truth FQDNs for synthetic flows
 	// (used only for scoring, never for labeling).
 	Truth func(flows.Key) string
+}
+
+// sinkConfig bridges a Sink onto the legacy callback fields.
+func sinkConfig(cfg Config, s Sink) Config {
+	if s == nil {
+		return cfg
+	}
+	cfg.OnTag = s.OnTag
+	cfg.OnDNSResponse = s.OnDNSResponse
+	cfg.OnFlow = s.OnFlow
+	return cfg
 }
 
 // Stats aggregates pipeline counters.
@@ -87,6 +101,21 @@ func (s Stats) UselessDNSFraction() float64 {
 	return 1 - float64(s.UsedEntries)/float64(s.DNSResponses)
 }
 
+// Add accumulates o into s; the sharded Engine merges per-shard counters
+// with it. Because every client lives on exactly one shard, summing the
+// per-shard counters reproduces the single-pipeline aggregates.
+func (s *Stats) Add(o Stats) {
+	s.Parser.Add(o.Parser)
+	s.Resolver.Add(o.Resolver)
+	s.Table.Add(o.Table)
+	s.DNSResponses += o.DNSResponses
+	s.DNSResponsesEmpty += o.DNSResponsesEmpty
+	s.DNSMalformed += o.DNSMalformed
+	s.UsedEntries += o.UsedEntries
+	s.Flows += o.Flows
+	s.LabeledFlows += o.LabeledFlows
+}
+
 // tag is the pending label attached when a flow begins.
 type tag struct {
 	label    string
@@ -96,7 +125,10 @@ type tag struct {
 	firstUse bool
 }
 
-// DNHunter is one assembled pipeline instance. Not safe for concurrent use.
+// DNHunter is one assembled single-threaded pipeline instance. Not safe
+// for concurrent use. It remains the building block the sharded Engine
+// runs one of per shard; new code should prefer Engine, which adds
+// context cancellation, error returns, and parallelism.
 type DNHunter struct {
 	cfg     Config
 	res     *resolver.Resolver
@@ -106,7 +138,6 @@ type DNHunter struct {
 	dnsMsg  dnswire.Message
 	pending map[flows.Key]tag
 	stats   Stats
-	now     time.Duration
 }
 
 // New assembles a pipeline from cfg.
@@ -160,17 +191,30 @@ func (h *DNHunter) Run(src netio.PacketSource) error {
 
 // HandlePacket feeds one packet through the pipeline (streaming use).
 func (h *DNHunter) HandlePacket(pkt netio.Packet) {
-	h.now = pkt.Timestamp
 	info, err := h.parser.Parse(pkt.Data)
 	if err != nil {
 		// Malformed and unhandled frames are counted by the parser.
 		return
 	}
+	h.handleParsed(info, pkt.Timestamp)
+}
+
+// handleParsed feeds one already-decoded packet through the pipeline. The
+// shard workers use it directly: the Engine's dispatcher owns the parser,
+// so shards skip the parse step (and keep zero parser stats of their own).
+func (h *DNHunter) handleParsed(info *layers.Decoded, at time.Duration) {
 	if info.HasUDP && (info.SrcPort == 53 || info.DstPort == 53) {
-		h.handleDNS(info, pkt.Timestamp)
+		h.handleDNS(info, at)
 		return
 	}
-	h.table.Add(info, pkt.Timestamp, h.onNewFlow)
+	h.table.Add(info, at, h.onNewFlow)
+}
+
+// sweepIdle expires idle flows as of now. The sharded Engine drives it with
+// broadcast sweep markers so expiry happens at the same trace times on every
+// shard as it would in a single-threaded run.
+func (h *DNHunter) sweepIdle(now time.Duration) {
+	h.table.FlushIdle(now)
 }
 
 // Close flushes all in-flight flows (end of capture).
@@ -246,6 +290,9 @@ func (h *DNHunter) onRecord(r flows.Record) {
 		h.stats.LabeledFlows++
 	}
 	h.db.Add(lf)
+	if h.cfg.OnFlow != nil {
+		h.cfg.OnFlow(lf)
+	}
 }
 
 // ErrStopped is returned by streaming helpers when a consumer aborts.

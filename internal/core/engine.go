@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/flowdb"
+	"repro/internal/flows"
+	"repro/internal/netio"
+	"repro/internal/resolver"
+)
+
+// EngineConfig assembles an Engine.
+type EngineConfig struct {
+	// Shards is the number of parallel pipeline workers. Packets are hashed
+	// by client address onto shards, each owning its own resolver Clist,
+	// flow table, and pending-tag map — the paper's suggested client-IP
+	// sharding (§3.1.1). 0 means 1 (the exact single-threaded pipeline);
+	// negative means GOMAXPROCS.
+	Shards int
+	// Batch is the number of packets per dispatcher→shard hand-off; 0 means
+	// 512. Only used when Shards > 1.
+	Batch int
+	// Resolver configures each shard's DNS cache replica. Note the Clist
+	// size applies per shard.
+	Resolver resolver.Config
+	// Flows configures each shard's flow table. The engine owns the
+	// table's record plumbing and sweep scheduling: OnRecord and
+	// DisableAutoSweep are overridden (observe finished flows through
+	// Sink.OnFlow instead), so results never depend on the shard count.
+	Flows flows.Config
+	// Sink receives the event stream; nil discards events.
+	Sink Sink
+	// Truth, when set, supplies ground-truth FQDNs for synthetic flows
+	// (used only for scoring, never for labeling).
+	Truth func(flows.Key) string
+}
+
+// Engine is the concurrent DN-Hunter pipeline. An Engine is an immutable
+// configuration handle: every Run builds fresh resolvers, flow tables, and
+// a fresh flow database, so one Engine may be reused across traces —
+// concurrently, too, unless a Sink is configured: a Sink instance belongs
+// to one run at a time (its events would interleave across runs and its
+// Close would fire once per run).
+//
+// With Shards == 1 the Engine byte-for-byte reproduces the deterministic
+// single-threaded pipeline; with Shards == N it produces the identical
+// flow set and aggregate statistics, at up to N-core throughput. The one
+// caveat: each shard owns a Clist of the configured size, so once a trace
+// is hot enough to overflow a Clist and force evictions, labeling can
+// deviate across shard counts. Size the Clist to the workload (the
+// default 1M entries covers the paper's busiest vantage points) and the
+// equivalence is exact.
+type Engine struct {
+	cfg EngineConfig
+}
+
+// NewEngine assembles an Engine, normalizing the configuration.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = defaultBatch
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Shards reports the resolved shard count.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// Result is the outcome of one Engine run: the merged labeled-flow
+// database and the aggregate pipeline statistics.
+type Result struct {
+	DB    *flowdb.DB
+	Stats Stats
+}
+
+// ctxCheckEvery bounds how many packets are processed between context
+// polls; a power of two so the check compiles to a mask.
+const ctxCheckEvery = 256
+
+// Run drains the packet source through the pipeline and returns the merged
+// result. It stops early with ctx.Err() when the context is cancelled. The
+// configured Sink is closed exactly once before Run returns, on success,
+// error, and cancellation alike.
+func (e *Engine) Run(ctx context.Context, src netio.PacketSource) (*Result, error) {
+	var (
+		res *Result
+		err error
+	)
+	if e.cfg.Shards <= 1 {
+		res, err = e.runSingle(ctx, src)
+	} else {
+		res, err = e.runSharded(ctx, src)
+	}
+	if e.cfg.Sink != nil {
+		cerr := e.cfg.Sink.Close()
+		if err == nil && cerr != nil {
+			err = fmt.Errorf("core: closing sink: %w", cerr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSingle is the Shards==1 path: the legacy pipeline, inline, plus
+// context polling. It reproduces the single-threaded results exactly.
+func (e *Engine) runSingle(ctx context.Context, src netio.PacketSource) (*Result, error) {
+	fcfg := e.cfg.Flows
+	fcfg.DisableAutoSweep = false // engine-managed; see EngineConfig.Flows
+	fcfg.OnRecord = nil
+	h := New(sinkConfig(Config{
+		Resolver: e.cfg.Resolver,
+		Flows:    fcfg,
+		Truth:    e.cfg.Truth,
+	}, e.cfg.Sink))
+	done := ctx.Done()
+	for i := 0; ; i++ {
+		if i&(ctxCheckEvery-1) == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		pkt, err := src.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("core: packet source: %w", err)
+		}
+		h.HandlePacket(pkt)
+	}
+	h.Close()
+	return &Result{DB: h.DB(), Stats: h.Stats()}, nil
+}

@@ -1,0 +1,365 @@
+package core
+
+// Sharded execution (Shards > 1): a single dispatcher goroutine parses
+// frames and hashes them by client address onto per-shard workers, each
+// running its own single-threaded DNHunter (resolver Clist, flow table,
+// pending-tag map). The paper suggests exactly this partitioning for
+// parallel deployments (§3.1.1): all state is keyed by client, so clients
+// can be split across independent pipelines with no shared mutable state.
+//
+// Equivalence with the single-threaded pipeline is exact, not approximate,
+// because the dispatcher mirrors every piece of global state that decides
+// where a packet must go:
+//
+//   - Flow orientation. The dispatcher keeps a replica of the flow table's
+//     key set and applies the table's own orientation rules (existing entry
+//     wins, then SYN, then client networks, then first-sender), so each
+//     packet is routed to the shard of the flow's eventual client — where
+//     that client's resolver entries live.
+//   - Flow lifetime. The replica removes entries on the same transitions
+//     the table does (RST, second FIN), so a reused 5-tuple re-orients at
+//     the same packet in both modes.
+//   - Idle sweeps. Shard tables run with the amortized auto-sweep disabled;
+//     the dispatcher broadcasts in-band sweep markers at the exact trace
+//     times a single-threaded table would sweep, and expires its own
+//     replica entries with the same rule, so idle flows are expired (and
+//     split into the same records) regardless of shard count.
+//
+// The one intentional deviation: each shard has its own Clist of the
+// configured size, so aggregate eviction behaviour differs from one global
+// Clist once a shard overflows. Size the Clist for the per-shard client
+// population (the paper sizes it for ~1 hour of responses).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flowdb"
+	"repro/internal/flows"
+	"repro/internal/layers"
+	"repro/internal/netio"
+)
+
+// defaultBatch is the dispatcher→shard hand-off granularity. Large enough
+// to amortize channel overhead, small enough to keep shards busy on short
+// traces.
+const defaultBatch = 512
+
+// shardItem is one unit of shard work: a decoded packet or a sweep marker.
+type shardItem struct {
+	at    time.Duration
+	sweep bool
+	dec   layers.Decoded
+	// payOff/payLen locate the copied payload in the batch buffer; the
+	// dec.Payload slice is fixed up at flush time because the buffer may
+	// reallocate while the batch fills.
+	payOff, payLen int
+}
+
+// shardBatch carries items plus the arena holding their payload copies.
+type shardBatch struct {
+	items []shardItem
+	buf   []byte
+}
+
+// shardWorker owns one pipeline shard.
+type shardWorker struct {
+	h  *DNHunter
+	ch chan shardBatch
+}
+
+// run drains batches until the channel closes, then flushes the shard's
+// flow table. When abort is set (cancellation) it keeps draining so the
+// dispatcher never blocks, but stops processing.
+func (w *shardWorker) run(wg *sync.WaitGroup, abort *atomic.Bool) {
+	defer wg.Done()
+	for b := range w.ch {
+		if abort.Load() {
+			continue
+		}
+		for i := range b.items {
+			it := &b.items[i]
+			if it.sweep {
+				w.h.sweepIdle(it.at)
+				continue
+			}
+			w.h.handleParsed(&it.dec, it.at)
+		}
+	}
+	if !abort.Load() {
+		w.h.Close()
+	}
+}
+
+// dispEntry mirrors one live flow-table entry: which shard owns it, when
+// it last saw traffic, and whether one FIN has been seen.
+type dispEntry struct {
+	shard   int
+	end     time.Duration
+	closing bool
+}
+
+// dispatcher parses, routes, batches, and sweeps.
+type dispatcher struct {
+	workers []*shardWorker
+	parser  layers.Parser
+	out     []shardBatch
+	batch   int
+
+	entries    map[flows.Key]*dispEntry
+	clientNets []netip.Prefix
+	idle       time.Duration
+	sweepMark  time.Duration
+}
+
+// runSharded is the Shards>1 path.
+func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Result, error) {
+	n := e.cfg.Shards
+	sink := SyncSink(e.cfg.Sink)
+
+	workers := make([]*shardWorker, n)
+	for i := range workers {
+		fcfg := e.cfg.Flows
+		fcfg.DisableAutoSweep = true // dispatcher drives sweeps via markers
+		fcfg.OnRecord = nil          // engine-managed; see EngineConfig.Flows
+		workers[i] = &shardWorker{
+			h: New(sinkConfig(Config{
+				Resolver: e.cfg.Resolver,
+				Flows:    fcfg,
+				Truth:    e.cfg.Truth,
+			}, sink)),
+			ch: make(chan shardBatch, 4),
+		}
+	}
+	var (
+		wg    sync.WaitGroup
+		abort atomic.Bool
+	)
+	for _, w := range workers {
+		wg.Add(1)
+		go w.run(&wg, &abort)
+	}
+
+	idle := e.cfg.Flows.IdleTimeout
+	if idle <= 0 {
+		idle = 5 * time.Minute // keep in lockstep with flows.NewTable
+	}
+	d := &dispatcher{
+		workers:    workers,
+		out:        make([]shardBatch, n),
+		batch:      e.cfg.Batch,
+		entries:    make(map[flows.Key]*dispEntry),
+		clientNets: e.cfg.Flows.ClientNets,
+		idle:       idle,
+	}
+
+	var runErr error
+	done := ctx.Done()
+	for i := 0; ; i++ {
+		if i&(ctxCheckEvery-1) == 0 {
+			select {
+			case <-done:
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+		}
+		pkt, err := src.Next()
+		if err != nil {
+			if err != io.EOF {
+				runErr = fmt.Errorf("core: packet source: %w", err)
+			}
+			break
+		}
+		d.dispatch(pkt)
+	}
+	if runErr != nil {
+		abort.Store(true)
+	} else {
+		for sh := range d.out {
+			d.flush(sh)
+		}
+	}
+	for _, w := range workers {
+		close(w.ch)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Merge: per-shard databases in shard order (deterministic for a fixed
+	// shard count), counters summed.
+	db := flowdb.New()
+	dbs := make([]*flowdb.DB, n)
+	var st Stats
+	st.Parser = d.parser.Stats
+	for i, w := range workers {
+		dbs[i] = w.h.DB()
+		st.Add(w.h.Stats())
+	}
+	db.Merge(dbs...)
+	return &Result{DB: db, Stats: st}, nil
+}
+
+// shardOf hashes a client address onto a shard with FNV-1a: deterministic
+// across runs and processes, so a fixed shard count always produces the
+// same client partitioning.
+func (d *dispatcher) shardOf(client netip.Addr) int {
+	b := client.As16()
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(d.workers)))
+}
+
+// dispatch parses one frame and routes it. Mirrors DNHunter.HandlePacket's
+// branching exactly: parse failures are only counted, UDP port-53 traffic
+// goes to the DNS path, everything else to the flow path.
+func (d *dispatcher) dispatch(pkt netio.Packet) {
+	dec, err := d.parser.Parse(pkt.Data)
+	if err != nil {
+		return
+	}
+	at := pkt.Timestamp
+	if dec.HasUDP && (dec.SrcPort == 53 || dec.DstPort == 53) {
+		// handleDNS attributes every response to DstIP, so responses MUST
+		// land on shardOf(DstIP) — regardless of which port is 53 — or the
+		// resolver entry would be invisible to that client's flows. Peek at
+		// the header QR bit (byte 2, MSB) to spot responses; queries and
+		// runts are dropped (or merely counted) by the shard, so for them
+		// any choice preserves equivalence and SrcIP spreads the load of
+		// unpacking queries across the clients that sent them.
+		client := dec.SrcIP
+		if len(dec.Payload) >= 3 && dec.Payload[2]&0x80 != 0 {
+			client = dec.DstIP
+		}
+		d.enqueue(d.shardOf(client), dec, at)
+		return
+	}
+	if !dec.HasTCP && !dec.HasUDP {
+		return // the flow table ignores these; don't ship them
+	}
+	d.enqueue(d.routeFlow(dec, at), dec, at)
+	// Amortized sweep, after the packet, at the same trace times a
+	// single-threaded table would sweep inside Add.
+	if at-d.sweepMark >= d.idle {
+		d.sweepMark = at
+		d.broadcastSweep(at)
+	}
+}
+
+// routeFlow mirrors flows.Table.orient plus the table's entry lifecycle,
+// returning the shard owning the packet's flow.
+func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) int {
+	key := flows.Key{
+		ClientIP: dec.SrcIP, ServerIP: dec.DstIP,
+		ClientPort: dec.SrcPort, ServerPort: dec.DstPort,
+		Proto: dec.Proto,
+	}
+	e, ok := d.entries[key]
+	if !ok {
+		rev := key.Reverse()
+		if e, ok = d.entries[rev]; ok {
+			key = rev
+		}
+	}
+	if !ok {
+		// New flow: same orientation rules as the table — a pure SYN marks
+		// the sender as client, else the configured client networks, else
+		// the first sender.
+		if !(dec.HasTCP && dec.TCPFlags.Has(layers.TCPSyn) && !dec.TCPFlags.Has(layers.TCPAck)) && len(d.clientNets) > 0 {
+			src := containsAddr(d.clientNets, dec.SrcIP)
+			dst := containsAddr(d.clientNets, dec.DstIP)
+			if dst && !src {
+				key = key.Reverse()
+			}
+		}
+		e = &dispEntry{shard: d.shardOf(key.ClientIP)}
+		d.entries[key] = e
+	}
+	e.end = at
+	if dec.HasTCP {
+		// Mirror advanceTCP's finish transitions so a reused 5-tuple
+		// re-orients at the same packet the table would re-create it.
+		switch {
+		case dec.TCPFlags.Has(layers.TCPRst):
+			delete(d.entries, key)
+		case dec.TCPFlags.Has(layers.TCPFin):
+			if e.closing {
+				delete(d.entries, key)
+			} else {
+				e.closing = true
+			}
+		}
+	}
+	return e.shard
+}
+
+func containsAddr(nets []netip.Prefix, a netip.Addr) bool {
+	for _, p := range nets {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue copies the decoded packet into the shard's pending batch. The
+// payload is copied into the batch arena because the parser (and pcap
+// reader beneath it) reuse their buffers on the next packet.
+func (d *dispatcher) enqueue(sh int, dec *layers.Decoded, at time.Duration) {
+	b := &d.out[sh]
+	it := shardItem{at: at, dec: *dec}
+	it.dec.Payload = nil
+	if len(dec.Payload) > 0 {
+		it.payOff = len(b.buf)
+		it.payLen = len(dec.Payload)
+		b.buf = append(b.buf, dec.Payload...)
+	}
+	b.items = append(b.items, it)
+	if len(b.items) >= d.batch {
+		d.flush(sh)
+	}
+}
+
+// broadcastSweep appends an in-band sweep marker to every shard's stream
+// and expires the dispatcher's own flow replica with the table's rule.
+func (d *dispatcher) broadcastSweep(now time.Duration) {
+	for sh := range d.out {
+		d.out[sh].items = append(d.out[sh].items, shardItem{at: now, sweep: true})
+		if len(d.out[sh].items) >= d.batch {
+			d.flush(sh)
+		}
+	}
+	for key, e := range d.entries {
+		if now-e.end >= d.idle {
+			delete(d.entries, key)
+		}
+	}
+}
+
+// flush fixes up payload slices and hands the batch to the shard.
+func (d *dispatcher) flush(sh int) {
+	b := d.out[sh]
+	if len(b.items) == 0 {
+		return
+	}
+	for i := range b.items {
+		it := &b.items[i]
+		if it.payLen > 0 {
+			it.dec.Payload = b.buf[it.payOff : it.payOff+it.payLen]
+		}
+	}
+	d.workers[sh].ch <- b
+	d.out[sh] = shardBatch{items: make([]shardItem, 0, d.batch)}
+}

@@ -5,7 +5,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -33,6 +35,10 @@ type ScenarioRun struct {
 type Suite struct {
 	Scale float64
 	Seed  uint64
+	// Shards parallelizes the pipeline runs (0/1 = exact single-threaded
+	// reproduction, the default; any value yields identical flow sets and
+	// aggregate stats).
+	Shards int
 
 	runs map[string]*ScenarioRun
 	live *synth.EventTrace
@@ -53,17 +59,23 @@ func (s *Suite) Run(name string) *ScenarioRun {
 	}
 	tr := synth.Generate(synth.NamedScenario(name, s.Scale, s.Seed))
 	run := &ScenarioRun{Trace: tr}
-	h := core.New(core.Config{
-		Truth: tr.TruthFunc(),
-		OnDNSResponse: func(e core.DNSEvent) {
+	eng := core.NewEngine(core.EngineConfig{
+		Shards: s.Shards,
+		Truth:  tr.TruthFunc(),
+		Sink: &core.FuncSink{DNS: func(e core.DNSEvent) {
 			run.DNSTimes = append(run.DNSTimes, e.At)
-		},
+		}},
 	})
-	if err := h.Run(tr.Source()); err != nil {
+	res, err := eng.Run(context.Background(), tr.Source())
+	if err != nil {
 		panic(err) // in-memory source cannot fail
 	}
-	run.DB = h.DB()
-	run.Stats = h.Stats()
+	if eng.Shards() > 1 {
+		// Shards deliver DNS events interleaved; restore trace order.
+		sort.Slice(run.DNSTimes, func(i, j int) bool { return run.DNSTimes[i] < run.DNSTimes[j] })
+	}
+	run.DB = res.DB
+	run.Stats = res.Stats
 	s.runs[name] = run
 	return run
 }

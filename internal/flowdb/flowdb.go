@@ -73,6 +73,27 @@ func (db *DB) Add(f LabeledFlow) {
 	db.byPort[f.Key.ServerPort] = append(db.byPort[f.Key.ServerPort], idx)
 }
 
+// Merge appends every flow of the others into db, maintaining the indexes.
+// The sharded engine combines per-shard databases with it at end of run;
+// record order follows the argument order, so merging shards 0..N-1 is
+// deterministic for a fixed shard count.
+func (db *DB) Merge(others ...*DB) {
+	grow := 0
+	for _, o := range others {
+		grow += len(o.recs)
+	}
+	if cap(db.recs)-len(db.recs) < grow {
+		recs := make([]LabeledFlow, len(db.recs), len(db.recs)+grow)
+		copy(recs, db.recs)
+		db.recs = recs
+	}
+	for _, o := range others {
+		for i := range o.recs {
+			db.Add(o.recs[i])
+		}
+	}
+}
+
 // Len returns the number of flows stored.
 func (db *DB) Len() int { return len(db.recs) }
 

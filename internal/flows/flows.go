@@ -129,6 +129,10 @@ type Config struct {
 	ClientNets []netip.Prefix
 	// OnRecord, when non-nil, receives each finished flow.
 	OnRecord func(Record)
+	// DisableAutoSweep turns off the amortized idle sweep inside Add. The
+	// sharded engine sets it and calls FlushIdle explicitly, so every shard
+	// expires flows at the same trace times as a single-threaded table.
+	DisableAutoSweep bool
 }
 
 // Table reconstructs flows. Not safe for concurrent use.
@@ -146,6 +150,14 @@ type TableStats struct {
 	FlowsClosed  uint64
 	FlowsExpired uint64
 	Packets      uint64
+}
+
+// Add accumulates o into s (per-shard merge).
+func (s *TableStats) Add(o TableStats) {
+	s.FlowsCreated += o.FlowsCreated
+	s.FlowsClosed += o.FlowsClosed
+	s.FlowsExpired += o.FlowsExpired
+	s.Packets += o.Packets
 }
 
 // NewTable creates a flow table.
@@ -245,7 +257,7 @@ func (t *Table) Add(d *layers.Decoded, at time.Duration, onNew NewFlowFunc) {
 		t.advanceTCP(f, d, key, at)
 	}
 	// Amortized idle sweep every IdleTimeout of trace time.
-	if at-t.sweep >= t.cfg.IdleTimeout {
+	if !t.cfg.DisableAutoSweep && at-t.sweep >= t.cfg.IdleTimeout {
 		t.sweep = at
 		t.FlushIdle(at)
 	}

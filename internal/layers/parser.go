@@ -44,6 +44,16 @@ type ParserStats struct {
 	UDPDatagram uint64
 }
 
+// Add accumulates o into s (per-shard merge).
+func (s *ParserStats) Add(o ParserStats) {
+	s.Frames += o.Frames
+	s.Malformed += o.Malformed
+	s.NonIP += o.NonIP
+	s.OtherProto += o.OtherProto
+	s.TCPSegments += o.TCPSegments
+	s.UDPDatagram += o.UDPDatagram
+}
+
 // Parse decodes one Ethernet frame. On success Info is valid until the next
 // call. Unsupported-but-well-formed frames (ARP, ICMP) return ErrUnhandled.
 func (p *Parser) Parse(frame []byte) (*Decoded, error) {

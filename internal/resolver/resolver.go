@@ -338,6 +338,23 @@ func (r *Resolver) LookupAll(clientIP, serverIP netip.Addr) []string {
 	return out
 }
 
+// Add accumulates o into s (per-shard merge). Counters sum; ClientsPeak
+// sums too, because a sharded deployment partitions clients across shards,
+// so the sum of per-shard peaks is the aggregate client population (exact
+// while no entries are evicted, an upper bound otherwise).
+func (s *Stats) Add(o Stats) {
+	s.Responses += o.Responses
+	s.Addresses += o.Addresses
+	s.Replaced += o.Replaced
+	s.Evictions += o.Evictions
+	s.EvictedRefs += o.EvictedRefs
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.ClientsPeak += o.ClientsPeak
+	s.EntriesAlive += o.EntriesAlive
+}
+
 // HitRatio returns Hits/Lookups, or 0 before any lookup.
 func (s Stats) HitRatio() float64 {
 	if s.Lookups == 0 {

@@ -5,6 +5,9 @@ package dnhunter
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -108,6 +111,110 @@ func TestFacadePolicyBeforeFlow(t *testing.T) {
 	}
 	if atSYN != total {
 		t.Fatalf("only %d/%d blocked flows caught at the SYN", atSYN, total)
+	}
+}
+
+// multiset renders flows to canonical strings with counts so databases can
+// be compared regardless of record order.
+func multiset(db *FlowDB) map[string]int {
+	m := make(map[string]int, db.Len())
+	for _, f := range db.All() {
+		m[fmt.Sprintf("%+v", f)]++
+	}
+	return m
+}
+
+// TestEngineShardEquivalenceNamedScenarios is the facade-level guarantee:
+// on the paper's named scenarios, an N-shard Engine produces the identical
+// aggregate Stats and FlowDB contents as shard count 1.
+func TestEngineShardEquivalenceNamedScenarios(t *testing.T) {
+	for _, name := range []string{"EU1-FTTH", "EU2-ADSL"} {
+		t.Run(name, func(t *testing.T) {
+			tr := GenerateTrace(name, 0.15, 19)
+			single, err := NewEngine().RunTrace(context.Background(), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := multiset(single.DB)
+			for _, shards := range []int{2, 4} {
+				res, err := NewEngine(WithShards(shards)).RunTrace(context.Background(), tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats != single.Stats {
+					t.Errorf("shards=%d stats diverge:\n 1: %+v\n %d: %+v",
+						shards, single.Stats, shards, res.Stats)
+				}
+				got := multiset(res.DB)
+				if len(got) != len(want) || res.DB.Len() != single.DB.Len() {
+					t.Fatalf("shards=%d: %d flows vs %d", shards, res.DB.Len(), single.DB.Len())
+				}
+				for k, n := range want {
+					if got[k] != n {
+						t.Fatalf("shards=%d: flow multiset diverges at %q (%d vs %d)",
+							shards, k, n, got[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineFacadeOptions exercises the functional options together: a
+// custom sink, DNS time collection, and a resolver override, on a sharded
+// run (which also makes `go test -race ./...` exercise the concurrent
+// pipeline through the facade).
+func TestEngineFacadeOptions(t *testing.T) {
+	tr := GenerateQuickTrace(21)
+	var tags int
+	eng := NewEngine(
+		WithShards(4),
+		WithResolver(ResolverConfig{ClistSize: 1 << 16}),
+		WithSink(&FuncSink{Tag: func(TagEvent) { tags++ }}),
+		WithDNSTimes(),
+	)
+	if eng.Shards() != 4 {
+		t.Fatalf("Shards() = %d", eng.Shards())
+	}
+	res, err := eng.RunTrace(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != tr {
+		t.Fatal("Result.Trace not set")
+	}
+	if len(res.DNSTimes) != int(res.Stats.DNSResponses) {
+		t.Fatalf("DNS times %d vs responses %d", len(res.DNSTimes), res.Stats.DNSResponses)
+	}
+	for i := 1; i < len(res.DNSTimes); i++ {
+		if res.DNSTimes[i] < res.DNSTimes[i-1] {
+			t.Fatal("DNSTimes not in trace order")
+		}
+	}
+	if uint64(tags) != res.Stats.Table.FlowsCreated {
+		t.Fatalf("sink saw %d tags, table created %d flows", tags, res.Stats.Table.FlowsCreated)
+	}
+	// The legacy wrapper must agree with the engine it delegates to.
+	legacy := RunTrace(tr, Options{})
+	if legacy.Err != nil {
+		t.Fatal(legacy.Err)
+	}
+	if legacy.Stats != res.Stats {
+		t.Fatalf("legacy wrapper diverges:\n legacy %+v\n engine %+v", legacy.Stats, res.Stats)
+	}
+}
+
+// TestEngineFacadeCancel: a cancelled context surfaces as an error, not a
+// panic, at any shard count.
+func TestEngineFacadeCancel(t *testing.T) {
+	tr := GenerateQuickTrace(23)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, shards := range []int{1, 4} {
+		_, err := NewEngine(WithShards(shards)).RunTrace(ctx, tr)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: err = %v, want context.Canceled", shards, err)
+		}
 	}
 }
 
