@@ -1,0 +1,188 @@
+// Command benchcheck guards the engine's allocation budget in CI: it
+// parses `go test -bench -benchmem` output and compares each benchmark's
+// allocs/op against a checked-in baseline, failing when a benchmark
+// regresses by more than the tolerance.
+//
+// Usage:
+//
+//	go test -bench EngineEU1FTTH -benchmem -run '^$' -count 3 | tee bench.txt
+//	benchcheck -baseline bench_baseline.json -in bench.txt
+//	benchcheck -baseline bench_baseline.json -in bench.txt -update
+//
+// With -count > 1 the minimum allocs/op across runs is compared (allocation
+// counts are stable; the minimum discards one-off runtime noise like pool
+// refills after a GC). Benchmarks absent from the baseline are reported but
+// not enforced: sharded variants allocate differently per GOMAXPROCS, so
+// the baseline pins only the deterministic single-threaded paths. -update
+// rewrites the baseline from the observed numbers for exactly the
+// benchmarks it already tracks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in allocation budget.
+type Baseline struct {
+	// TolerancePct is the allowed allocs/op regression in percent.
+	TolerancePct float64 `json:"tolerance_pct"`
+	// Benchmarks maps the benchmark name (without the -GOMAXPROCS suffix)
+	// to its budget.
+	Benchmarks map[string]Budget `json:"benchmarks"`
+}
+
+// Budget is one benchmark's pinned numbers.
+type Budget struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkEngineEU1FTTH/shards-1-4  5  5518661 ns/op  310 MB/s  10702 pkts/op  2166804 B/op  7398 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline JSON path")
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	tolerance := flag.Float64("tolerance", 0, "override baseline tolerance_pct when > 0")
+	update := flag.Bool("update", false, "rewrite the baseline from the observed numbers")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("parsing %s: %v", *baselinePath, err)
+	}
+	tol := base.TolerancePct
+	if *tolerance > 0 {
+		tol = *tolerance
+	}
+	if tol <= 0 {
+		tol = 10
+	}
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	observed, err := parseBench(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(observed) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+
+	if *update {
+		for name := range base.Benchmarks {
+			got, ok := observed[name]
+			if !ok {
+				log.Fatalf("baseline benchmark %q missing from input", name)
+			}
+			base.Benchmarks[name] = Budget{AllocsPerOp: got}
+		}
+		enc, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(*baselinePath, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("updated %s", *baselinePath)
+		return
+	}
+
+	failed := false
+	for name, budget := range base.Benchmarks {
+		got, ok := observed[name]
+		if !ok {
+			log.Printf("FAIL %s: tracked by baseline but missing from input", name)
+			failed = true
+			continue
+		}
+		limit := budget.AllocsPerOp * (1 + tol/100)
+		switch {
+		case got > limit:
+			log.Printf("FAIL %s: %.0f allocs/op exceeds baseline %.0f by more than %g%%",
+				name, got, budget.AllocsPerOp, tol)
+			failed = true
+		case got < budget.AllocsPerOp*(1-tol/100):
+			// An improvement beyond tolerance deserves a baseline refresh so
+			// the ratchet keeps holding; flag it without failing.
+			log.Printf("ok   %s: %.0f allocs/op (baseline %.0f — improved, consider -update)",
+				name, got, budget.AllocsPerOp)
+		default:
+			log.Printf("ok   %s: %.0f allocs/op (baseline %.0f)", name, got, budget.AllocsPerOp)
+		}
+	}
+	for name, got := range observed {
+		if _, ok := base.Benchmarks[name]; !ok {
+			log.Printf("skip %s: %.0f allocs/op (not tracked)", name, got)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts min allocs/op per benchmark name (normalized without
+// the trailing -GOMAXPROCS) from `go test -bench -benchmem` output.
+func parseBench(f *os.File) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := normalizeName(m[1])
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			if prev, ok := out[name]; !ok || v < prev {
+				out[name] = v
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix go test appends, so
+// baselines transfer across machines with different CPU counts. go test
+// only appends the suffix when GOMAXPROCS > 1, and benchcheck runs in the
+// same environment as the benchmarks it checks, so exactly the literal
+// "-<GOMAXPROCS>" suffix is stripped — never a numeric tail that is part
+// of the sub-benchmark name (like "shards-1" on a single-CPU machine).
+func normalizeName(name string) string {
+	procs := runtime.GOMAXPROCS(0)
+	if procs <= 1 {
+		return name
+	}
+	return strings.TrimSuffix(name, "-"+strconv.Itoa(procs))
+}

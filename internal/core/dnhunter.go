@@ -137,7 +137,9 @@ type DNHunter struct {
 	parser  layers.Parser
 	dnsMsg  dnswire.Message
 	pending map[flows.Key]tag
-	stats   Stats
+	// addrs is the reusable answer-address scratch for handleDNS.
+	addrs []netip.Addr
+	stats Stats
 }
 
 // New assembles a pipeline from cfg.
@@ -151,6 +153,9 @@ func New(cfg Config) *DNHunter {
 	if h.db == nil {
 		h.db = flowdb.New()
 	}
+	// The intern table deduplicates decoded FQDN strings; it is owned by
+	// this pipeline instance, so in a sharded engine it is per shard.
+	h.dnsMsg.SetInterner(dnswire.NewInterner(0))
 	fcfg := cfg.Flows
 	fcfg.OnRecord = h.onRecord
 	h.table = flows.NewTable(fcfg)
@@ -232,7 +237,8 @@ func (h *DNHunter) handleDNS(info *layers.Decoded, at time.Duration) {
 		return // queries carry no answer list
 	}
 	fqdn := h.dnsMsg.QueriedName()
-	addrs := h.dnsMsg.AnswerAddrs()
+	addrs := h.dnsMsg.AppendAnswerAddrs(h.addrs[:0])
+	h.addrs = addrs
 	if fqdn == "" || len(addrs) == 0 {
 		h.stats.DNSResponsesEmpty++
 		return

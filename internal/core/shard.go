@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,15 +63,23 @@ type shardItem struct {
 }
 
 // shardBatch carries items plus the arena holding their payload copies.
+// Batches cycle through a pool: dispatcher fills → worker drains → pool.
 type shardBatch struct {
 	items []shardItem
 	buf   []byte
 }
 
+// reset empties the batch for reuse, keeping both backing arrays.
+func (b *shardBatch) reset() {
+	b.items = b.items[:0]
+	b.buf = b.buf[:0]
+}
+
 // shardWorker owns one pipeline shard.
 type shardWorker struct {
-	h  *DNHunter
-	ch chan shardBatch
+	h    *DNHunter
+	ch   chan *shardBatch
+	pool *sync.Pool
 }
 
 // run drains batches until the channel closes, then flushes the shard's
@@ -79,17 +88,18 @@ type shardWorker struct {
 func (w *shardWorker) run(wg *sync.WaitGroup, abort *atomic.Bool) {
 	defer wg.Done()
 	for b := range w.ch {
-		if abort.Load() {
-			continue
-		}
-		for i := range b.items {
-			it := &b.items[i]
-			if it.sweep {
-				w.h.sweepIdle(it.at)
-				continue
+		if !abort.Load() {
+			for i := range b.items {
+				it := &b.items[i]
+				if it.sweep {
+					w.h.sweepIdle(it.at)
+					continue
+				}
+				w.h.handleParsed(&it.dec, it.at)
 			}
-			w.h.handleParsed(&it.dec, it.at)
 		}
+		b.reset()
+		w.pool.Put(b)
 	}
 	if !abort.Load() {
 		w.h.Close()
@@ -108,13 +118,17 @@ type dispEntry struct {
 type dispatcher struct {
 	workers []*shardWorker
 	parser  layers.Parser
-	out     []shardBatch
+	out     []*shardBatch
+	pool    *sync.Pool
 	batch   int
 
 	entries    map[flows.Key]*dispEntry
 	clientNets []netip.Prefix
 	idle       time.Duration
 	sweepMark  time.Duration
+
+	// freeEntries recycles dispEntry structs removed from the replica.
+	freeEntries []*dispEntry
 }
 
 // runSharded is the Shards>1 path.
@@ -122,6 +136,9 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	n := e.cfg.Shards
 	sink := SyncSink(e.cfg.Sink)
 
+	pool := &sync.Pool{New: func() any {
+		return &shardBatch{items: make([]shardItem, 0, e.cfg.Batch)}
+	}}
 	workers := make([]*shardWorker, n)
 	for i := range workers {
 		fcfg := e.cfg.Flows
@@ -133,7 +150,8 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 				Flows:    fcfg,
 				Truth:    e.cfg.Truth,
 			}, sink)),
-			ch: make(chan shardBatch, 4),
+			ch:   make(chan *shardBatch, 4),
+			pool: pool,
 		}
 	}
 	var (
@@ -151,17 +169,24 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	}
 	d := &dispatcher{
 		workers:    workers,
-		out:        make([]shardBatch, n),
+		out:        make([]*shardBatch, n),
+		pool:       pool,
 		batch:      e.cfg.Batch,
 		entries:    make(map[flows.Key]*dispEntry),
 		clientNets: e.cfg.Flows.ClientNets,
 		idle:       idle,
+	}
+	for i := range d.out {
+		d.out[i] = pool.Get().(*shardBatch)
 	}
 
 	var runErr error
 	done := ctx.Done()
 	for i := 0; ; i++ {
 		if i&(ctxCheckEvery-1) == 0 {
+			if i&(yieldEvery-1) == 0 {
+				runtime.Gosched() // see yieldEvery
+			}
 			select {
 			case <-done:
 				runErr = ctx.Err()
@@ -284,7 +309,7 @@ func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) int {
 				key = key.Reverse()
 			}
 		}
-		e = &dispEntry{shard: d.shardOf(key.ClientIP)}
+		e = d.newEntry(d.shardOf(key.ClientIP))
 		d.entries[key] = e
 	}
 	e.end = at
@@ -293,16 +318,33 @@ func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) int {
 		// re-orients at the same packet the table would re-create it.
 		switch {
 		case dec.TCPFlags.Has(layers.TCPRst):
-			delete(d.entries, key)
+			d.dropEntry(key, e)
 		case dec.TCPFlags.Has(layers.TCPFin):
 			if e.closing {
-				delete(d.entries, key)
+				d.dropEntry(key, e)
 			} else {
 				e.closing = true
 			}
 		}
 	}
 	return e.shard
+}
+
+// newEntry takes a replica entry from the free list or allocates one.
+func (d *dispatcher) newEntry(shard int) *dispEntry {
+	if n := len(d.freeEntries); n > 0 {
+		e := d.freeEntries[n-1]
+		d.freeEntries = d.freeEntries[:n-1]
+		*e = dispEntry{shard: shard}
+		return e
+	}
+	return &dispEntry{shard: shard}
+}
+
+// dropEntry removes a replica entry and recycles it.
+func (d *dispatcher) dropEntry(key flows.Key, e *dispEntry) {
+	delete(d.entries, key)
+	d.freeEntries = append(d.freeEntries, e)
 }
 
 func containsAddr(nets []netip.Prefix, a netip.Addr) bool {
@@ -318,7 +360,7 @@ func containsAddr(nets []netip.Prefix, a netip.Addr) bool {
 // payload is copied into the batch arena because the parser (and pcap
 // reader beneath it) reuse their buffers on the next packet.
 func (d *dispatcher) enqueue(sh int, dec *layers.Decoded, at time.Duration) {
-	b := &d.out[sh]
+	b := d.out[sh]
 	it := shardItem{at: at, dec: *dec}
 	it.dec.Payload = nil
 	if len(dec.Payload) > 0 {
@@ -343,12 +385,13 @@ func (d *dispatcher) broadcastSweep(now time.Duration) {
 	}
 	for key, e := range d.entries {
 		if now-e.end >= d.idle {
-			delete(d.entries, key)
+			d.dropEntry(key, e)
 		}
 	}
 }
 
-// flush fixes up payload slices and hands the batch to the shard.
+// flush fixes up payload slices and hands the batch to the shard, taking a
+// recycled batch from the pool for the next fill.
 func (d *dispatcher) flush(sh int) {
 	b := d.out[sh]
 	if len(b.items) == 0 {
@@ -361,5 +404,5 @@ func (d *dispatcher) flush(sh int) {
 		}
 	}
 	d.workers[sh].ch <- b
-	d.out[sh] = shardBatch{items: make([]shardItem, 0, d.batch)}
+	d.out[sh] = d.pool.Get().(*shardBatch)
 }

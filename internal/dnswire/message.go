@@ -103,21 +103,79 @@ type Record struct {
 	Target string
 	// MX
 	Pref uint16
-	// TXT
+	// TXT carries the record's character-strings. Unpack leaves it nil and
+	// keeps the raw RDATA in Data instead — most sniffed TXT records are
+	// discarded unread, so the strings are only materialized on demand via
+	// TXTStrings. Pack serializes TXT when set, else Data verbatim.
 	TXT []string
 	// SRV
 	Priority, Weight, Port uint16
-	// Data carries RDATA verbatim for types the codec does not model.
+	// Data carries RDATA verbatim for types the codec does not model (and
+	// for TXT, see above). After Unpack it aliases the message buffer and
+	// is valid until the next Unpack; copy before retaining.
 	Data []byte
 }
 
-// Message is a whole DNS message.
+// TXTStrings returns the record's character-strings, decoding them from the
+// raw RDATA when Unpack deferred that work. The returned slice is freshly
+// allocated; it does not alias the message buffer.
+func (r *Record) TXTStrings() []string {
+	if r.TXT != nil || r.Type != TypeTXT {
+		return r.TXT
+	}
+	var out []string
+	for p := 0; p < len(r.Data); {
+		l := int(r.Data[p])
+		if p+1+l > len(r.Data) {
+			break // validated during Unpack; defensive for hand-built records
+		}
+		out = append(out, string(r.Data[p+1:p+1+l]))
+		p += 1 + l
+	}
+	return out
+}
+
+// Message is a whole DNS message. The zero value is ready to use; reusing
+// one Message across Unpack calls reuses its section slices and name
+// buffer, making steady-state decoding allocation-free. Attach a (per
+// pipeline shard) Interner with SetInterner to also deduplicate the name
+// strings themselves.
 type Message struct {
 	Header      Header
 	Questions   []Question
 	Answers     []Record
 	Authorities []Record
 	Additionals []Record
+
+	// scratch is the reusable name-decode buffer; names are decoded into it
+	// and then converted to strings (through the interner when set).
+	scratch []byte
+	intern  *Interner
+}
+
+// SetInterner attaches an intern table used to deduplicate name strings
+// decoded by Unpack. Interned strings outlive the message; the interner is
+// typically owned by the pipeline shard that owns the Message.
+func (m *Message) SetInterner(in *Interner) { m.intern = in }
+
+// internName converts the scratch-decoded name bytes to a string, through
+// the intern table when one is attached.
+func (m *Message) internName(b []byte) string {
+	if m.intern != nil {
+		return m.intern.Intern(b)
+	}
+	return string(b)
+}
+
+// readNameAt decodes the name at off into the reusable scratch buffer and
+// returns the interned string plus the caller-side end offset.
+func (m *Message) readNameAt(msg []byte, off int) (string, int, error) {
+	b, end, err := appendNameAt(msg, off, m.scratch[:0])
+	if err != nil {
+		return "", 0, err
+	}
+	m.scratch = b[:0]
+	return m.internName(b), end, nil
 }
 
 // TTLDuration converts an RR TTL to a duration.
@@ -217,6 +275,12 @@ func appendRecord(buf []byte, r *Record, table map[string]int) ([]byte, error) {
 			return nil, err
 		}
 	case TypeTXT:
+		if len(r.TXT) == 0 && len(r.Data) > 0 {
+			// Round-tripping a lazily decoded record: Data is already in
+			// wire format (length-prefixed character-strings).
+			buf = append(buf, r.Data...)
+			break
+		}
 		for _, s := range r.TXT {
 			if len(s) > 255 {
 				return nil, fmt.Errorf("%w: TXT chunk too long", ErrBadRecord)
@@ -268,7 +332,7 @@ func (m *Message) Unpack(msg []byte) error {
 	var err error
 	for i := 0; i < qd; i++ {
 		var q Question
-		q.Name, off, err = readName(msg, off)
+		q.Name, off, err = m.readNameAt(msg, off)
 		if err != nil {
 			return err
 		}
@@ -280,23 +344,23 @@ func (m *Message) Unpack(msg []byte) error {
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	m.Answers, off, err = readRecords(msg, off, an, m.Answers[:0])
+	m.Answers, off, err = m.readRecords(msg, off, an, m.Answers[:0])
 	if err != nil {
 		return err
 	}
-	m.Authorities, off, err = readRecords(msg, off, ns, m.Authorities[:0])
+	m.Authorities, off, err = m.readRecords(msg, off, ns, m.Authorities[:0])
 	if err != nil {
 		return err
 	}
-	m.Additionals, _, err = readRecords(msg, off, ar, m.Additionals[:0])
+	m.Additionals, _, err = m.readRecords(msg, off, ar, m.Additionals[:0])
 	return err
 }
 
-func readRecords(msg []byte, off, n int, dst []Record) ([]Record, int, error) {
+func (m *Message) readRecords(msg []byte, off, n int, dst []Record) ([]Record, int, error) {
 	var err error
 	for i := 0; i < n; i++ {
 		var r Record
-		r.Name, off, err = readName(msg, off)
+		r.Name, off, err = m.readNameAt(msg, off)
 		if err != nil {
 			return dst, off, err
 		}
@@ -328,7 +392,7 @@ func readRecords(msg []byte, off, n int, dst []Record) ([]Record, int, error) {
 			copy(a[:], rdata)
 			r.Addr = netip.AddrFrom16(a)
 		case TypeCNAME, TypeNS, TypePTR:
-			r.Target, _, err = readName(msg, off)
+			r.Target, _, err = m.readNameAt(msg, off)
 			if err != nil {
 				return dst, off, err
 			}
@@ -337,19 +401,21 @@ func readRecords(msg []byte, off, n int, dst []Record) ([]Record, int, error) {
 				return dst, off, fmt.Errorf("%w: MX RDLENGTH %d", ErrBadRecord, rdlen)
 			}
 			r.Pref = binary.BigEndian.Uint16(rdata[0:2])
-			r.Target, _, err = readName(msg, off+2)
+			r.Target, _, err = m.readNameAt(msg, off+2)
 			if err != nil {
 				return dst, off, err
 			}
 		case TypeTXT:
+			// Validate the chunk structure but defer string materialization
+			// to TXTStrings: the sniffer discards most TXT records unread.
 			for p := 0; p < rdlen; {
 				l := int(rdata[p])
 				if p+1+l > rdlen {
 					return dst, off, fmt.Errorf("%w: TXT chunk", ErrBadRecord)
 				}
-				r.TXT = append(r.TXT, string(rdata[p+1:p+1+l]))
 				p += 1 + l
 			}
+			r.Data = rdata
 		case TypeSRV:
 			if rdlen < 7 {
 				return dst, off, fmt.Errorf("%w: SRV RDLENGTH %d", ErrBadRecord, rdlen)
@@ -357,12 +423,12 @@ func readRecords(msg []byte, off, n int, dst []Record) ([]Record, int, error) {
 			r.Priority = binary.BigEndian.Uint16(rdata[0:2])
 			r.Weight = binary.BigEndian.Uint16(rdata[2:4])
 			r.Port = binary.BigEndian.Uint16(rdata[4:6])
-			r.Target, _, err = readName(msg, off+6)
+			r.Target, _, err = m.readNameAt(msg, off+6)
 			if err != nil {
 				return dst, off, err
 			}
 		default:
-			r.Data = append([]byte(nil), rdata...)
+			r.Data = rdata
 		}
 		off += rdlen
 		dst = append(dst, r)
@@ -374,16 +440,25 @@ func readRecords(msg []byte, off, n int, dst []Record) ([]Record, int, error) {
 // the common CDN pattern where CNAME chains terminate in address records.
 // This is exactly the "answer list" the paper's DNS Resolver stores.
 func (m *Message) AnswerAddrs() []netip.Addr {
-	var out []netip.Addr
-	for _, r := range m.Answers {
+	return m.AppendAnswerAddrs(nil)
+}
+
+// AppendAnswerAddrs appends the answer section's A/AAAA addresses to dst
+// and returns the extended slice. Passing a reused dst[:0] keeps the
+// sniffer's per-response address gathering allocation-free.
+func (m *Message) AppendAnswerAddrs(dst []netip.Addr) []netip.Addr {
+	for i := range m.Answers {
+		r := &m.Answers[i]
 		if (r.Type == TypeA || r.Type == TypeAAAA) && r.Addr.IsValid() {
-			out = append(out, r.Addr)
+			dst = append(dst, r.Addr)
 		}
 	}
-	return out
+	return dst
 }
 
 // QueriedName returns the lowercased name of the first question, or "".
+// Unpack already lowercases names, so for decoded messages this returns the
+// question string as-is without allocating.
 func (m *Message) QueriedName() string {
 	if len(m.Questions) == 0 {
 		return ""

@@ -146,8 +146,19 @@ func TestMXTXTSRVRoundTrip(t *testing.T) {
 	if mx.Pref != 10 || mx.Target != "aspmx.l.google.com" {
 		t.Fatalf("mx = %+v", mx)
 	}
-	if !reflect.DeepEqual(txt.TXT, []string{"v=spf1 -all", "second"}) {
-		t.Fatalf("txt = %+v", txt.TXT)
+	if txt.TXT != nil {
+		t.Fatalf("TXT should stay lazy after Unpack, got %+v", txt.TXT)
+	}
+	if s := txt.TXTStrings(); !reflect.DeepEqual(s, []string{"v=spf1 -all", "second"}) {
+		t.Fatalf("txt = %+v", s)
+	}
+	// A lazily decoded TXT record must survive a re-Pack unchanged.
+	var again Message
+	if err := again.Unpack(mustPack(t, &got)); err != nil {
+		t.Fatal(err)
+	}
+	if g := again.Answers[1].TXTStrings(); !reflect.DeepEqual(g, []string{"v=spf1 -all", "second"}) {
+		t.Fatalf("re-packed txt = %+v", g)
 	}
 	if srv.Priority != 1 || srv.Weight != 5 || srv.Port != 5060 || srv.Target != "sip.example.com" {
 		t.Fatalf("srv = %+v", srv)

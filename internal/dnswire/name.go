@@ -61,19 +61,22 @@ func appendName(msg []byte, name string, table map[string]int) ([]byte, error) {
 	return append(msg, 0), nil
 }
 
-// readName decodes a possibly compressed name starting at off in msg. It
-// returns the name in lowercase dotted form (no trailing dot) and the offset
-// just past the name's representation at the call site (pointers do not
-// advance the caller's cursor beyond the 2-byte pointer itself).
-func readName(msg []byte, off int) (string, int, error) {
-	var b strings.Builder
+// appendNameAt decodes a possibly compressed name starting at off in msg,
+// appending it to dst in lowercase dotted form (no trailing dot). It returns
+// the extended buffer and the offset just past the name's representation at
+// the call site (pointers do not advance the caller's cursor beyond the
+// 2-byte pointer itself). Decoding into a caller-owned scratch buffer is the
+// allocation-free core of the sniffer's DNS path; Message.readNameAt wraps
+// it with the reusable scratch buffer and intern table.
+func appendNameAt(msg []byte, off int, dst []byte) ([]byte, int, error) {
+	mark := len(dst)
 	cursor := off
 	end := -1 // caller-visible end, set at the first pointer
 	hops := 0
 	total := 0
 	for {
 		if cursor >= len(msg) {
-			return "", 0, fmt.Errorf("%w: name runs past message", ErrTruncatedMsg)
+			return dst[:mark], 0, fmt.Errorf("%w: name runs past message", ErrTruncatedMsg)
 		}
 		c := msg[cursor]
 		switch {
@@ -81,10 +84,10 @@ func readName(msg []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = cursor + 1
 			}
-			return strings.ToLower(b.String()), end, nil
+			return dst, end, nil
 		case c&0xc0 == 0xc0:
 			if cursor+1 >= len(msg) {
-				return "", 0, fmt.Errorf("%w: dangling pointer", ErrTruncatedMsg)
+				return dst[:mark], 0, fmt.Errorf("%w: dangling pointer", ErrTruncatedMsg)
 			}
 			ptr := int(c&0x3f)<<8 | int(msg[cursor+1])
 			if end < 0 {
@@ -94,24 +97,29 @@ func readName(msg []byte, off int) (string, int, error) {
 			if hops > 32 || ptr >= cursor {
 				// Forward or excessive pointers indicate a loop or garbage;
 				// RFC-compliant compression only points backwards.
-				return "", 0, ErrPointerLoop
+				return dst[:mark], 0, ErrPointerLoop
 			}
 			cursor = ptr
 		case c&0xc0 != 0:
-			return "", 0, fmt.Errorf("%w: reserved label type %#02x", ErrBadName, c&0xc0)
+			return dst[:mark], 0, fmt.Errorf("%w: reserved label type %#02x", ErrBadName, c&0xc0)
 		default:
 			l := int(c)
 			if cursor+1+l > len(msg) {
-				return "", 0, fmt.Errorf("%w: label runs past message", ErrTruncatedMsg)
+				return dst[:mark], 0, fmt.Errorf("%w: label runs past message", ErrTruncatedMsg)
 			}
 			total += l + 1
 			if total > maxNameLen {
-				return "", 0, fmt.Errorf("%w: name exceeds %d bytes", ErrBadName, maxNameLen)
+				return dst[:mark], 0, fmt.Errorf("%w: name exceeds %d bytes", ErrBadName, maxNameLen)
 			}
-			if b.Len() > 0 {
-				b.WriteByte('.')
+			if len(dst) > mark {
+				dst = append(dst, '.')
 			}
-			b.Write(msg[cursor+1 : cursor+1+l])
+			for _, ch := range msg[cursor+1 : cursor+1+l] {
+				if 'A' <= ch && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				dst = append(dst, ch)
+			}
 			cursor += 1 + l
 		}
 	}

@@ -1,0 +1,63 @@
+package flows
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/layers"
+)
+
+// A packet for a flow the table already tracks — the overwhelmingly common
+// case on a busy link — must not allocate.
+
+func TestTableHitZeroAlloc(t *testing.T) {
+	tbl := NewTable(Config{OnRecord: func(Record) {}})
+	syn := &layers.Decoded{
+		HasIP: true, HasTCP: true,
+		SrcIP: netip.MustParseAddr("10.0.0.1"), DstIP: netip.MustParseAddr("192.0.2.10"),
+		Proto: layers.IPProtocolTCP, SrcPort: 40000, DstPort: 443,
+		TCPFlags: layers.TCPSyn,
+	}
+	tbl.Add(syn, 0, nil) // creates the flow
+	ack := &layers.Decoded{
+		HasIP: true, HasTCP: true,
+		SrcIP: syn.SrcIP, DstIP: syn.DstIP,
+		Proto: layers.IPProtocolTCP, SrcPort: 40000, DstPort: 443,
+		TCPFlags: layers.TCPAck,
+	}
+	at := 10 * time.Millisecond
+	if n := testing.AllocsPerRun(1000, func() {
+		tbl.Add(ack, at, nil)
+	}); n != 0 {
+		t.Fatalf("flow-table hit allocates %v/op, want 0", n)
+	}
+	if got := tbl.Active(); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+}
+
+// Steady churn — flows opening and closing at a constant rate — must reuse
+// recycled flow structs instead of growing the heap.
+func TestTableChurnSteadyStateAlloc(t *testing.T) {
+	tbl := NewTable(Config{OnRecord: func(Record) {}})
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("192.0.2.10")
+	cycle := func(port uint16) {
+		syn := &layers.Decoded{HasIP: true, HasTCP: true, SrcIP: src, DstIP: dst,
+			Proto: layers.IPProtocolTCP, SrcPort: port, DstPort: 443, TCPFlags: layers.TCPSyn}
+		rst := &layers.Decoded{HasIP: true, HasTCP: true, SrcIP: src, DstIP: dst,
+			Proto: layers.IPProtocolTCP, SrcPort: port, DstPort: 443, TCPFlags: layers.TCPRst}
+		tbl.Add(syn, 0, nil)
+		tbl.Add(rst, time.Millisecond, nil)
+	}
+	// Warm-up fills the free list and map capacity.
+	for p := uint16(1000); p < 1100; p++ {
+		cycle(p)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		cycle(2000)
+	}); n > 0.1 {
+		t.Fatalf("steady flow churn allocates %v/op, want ~0", n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/netip"
+	"strings"
 	"time"
 
 	"repro/internal/layers"
@@ -137,10 +138,17 @@ type Config struct {
 
 // Table reconstructs flows. Not safe for concurrent use.
 type Table struct {
-	cfg    Config
-	flows  map[Key]*flow
-	stats  TableStats
-	sweep  time.Duration
+	cfg   Config
+	flows map[Key]*flow
+	stats TableStats
+	sweep time.Duration
+	// free recycles finished flow structs (with their prefix buffer
+	// capacity), so a steady flow arrival/departure rate creates no
+	// garbage. Records escape by value at emit time, never by reference.
+	free []*flow
+	// slab backs brand-new flow structs in blocks while the free list is
+	// still filling.
+	slab   []flow
 	frozen []Record // records kept when OnRecord is nil
 }
 
@@ -229,7 +237,8 @@ func (t *Table) Add(d *layers.Decoded, at time.Duration, onNew NewFlowFunc) {
 	key, c2s := t.orient(d)
 	f, ok := t.flows[key]
 	if !ok {
-		f = &flow{rec: Record{Key: key, Start: at, End: at}}
+		f = t.newFlow()
+		f.rec = Record{Key: key, Start: at, End: at}
 		if d.HasTCP && d.TCPFlags.Has(layers.TCPSyn) && !d.TCPFlags.Has(layers.TCPAck) {
 			f.rec.SawSYN = true
 			f.rec.State = StateSynSent
@@ -344,19 +353,75 @@ func isHTTPRequest(p []byte) bool {
 	return false
 }
 
-// httpHost extracts the Host header value from a request head prefix.
+// hostPrefix is the header name matched by httpHost.
+var hostPrefix = []byte("host:")
+
+// httpHost extracts the Host header value from a request head prefix. It
+// scans line by line without splitting, so a miss costs zero allocations;
+// only a found host materializes a string.
 func httpHost(p []byte) string {
-	for _, line := range bytes.Split(p, []byte("\r\n")) {
-		if len(line) > 5 && bytes.EqualFold(line[:5], []byte("host:")) {
-			return string(bytes.ToLower(bytes.TrimSpace(line[5:])))
+	for len(p) > 0 {
+		line := p
+		if i := bytes.IndexByte(p, '\n'); i >= 0 {
+			line = p[:i]
+			p = p[i+1:]
+		} else {
+			p = nil
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(line) > 5 && bytes.EqualFold(line[:5], hostPrefix) {
+			return lowerString(bytes.TrimSpace(line[5:]))
 		}
 	}
 	return ""
 }
 
+// lowerString builds a lowercase string from b with a single allocation
+// (bytes.ToLower + string() would take two).
+func lowerString(b []byte) string {
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for _, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
 // isBitTorrent recognizes the BT peer-wire handshake.
 func isBitTorrent(p []byte) bool {
 	return len(p) >= 20 && p[0] == 19 && bytes.HasPrefix(p[1:], []byte("BitTorrent protocol"))
+}
+
+// newFlow takes a flow struct from the free list, or carves one from the
+// slab. The caller overwrites rec; prefix buffers keep their capacity.
+func (t *Table) newFlow() *flow {
+	if n := len(t.free); n > 0 {
+		f := t.free[n-1]
+		t.free = t.free[:n-1]
+		return f
+	}
+	if len(t.slab) == 0 {
+		t.slab = make([]flow, 64)
+	}
+	f := &t.slab[0]
+	t.slab = t.slab[1:]
+	return f
+}
+
+// recycle resets a finished flow and returns it to the free list. The
+// record escaped by value in emit; prefix bytes are never referenced by it.
+func (t *Table) recycle(f *flow) {
+	f.rec = Record{}
+	f.c2sPrefix = f.c2sPrefix[:0]
+	f.s2cPrefix = f.s2cPrefix[:0]
+	f.classified = false
+	f.inspected = false
+	t.free = append(t.free, f)
 }
 
 // finish emits a record and removes the flow.
@@ -365,6 +430,7 @@ func (t *Table) finish(key Key, f *flow) {
 	t.stats.FlowsClosed++
 	delete(t.flows, key)
 	t.emit(f.rec)
+	t.recycle(f)
 }
 
 func (t *Table) classifyFinal(f *flow) {
@@ -394,6 +460,7 @@ func (t *Table) FlushIdle(now time.Duration) {
 			t.stats.FlowsExpired++
 			delete(t.flows, key)
 			t.emit(f.rec)
+			t.recycle(f)
 		}
 	}
 }
@@ -405,6 +472,7 @@ func (t *Table) FlushAll() {
 		t.stats.FlowsClosed++
 		delete(t.flows, key)
 		t.emit(f.rec)
+		t.recycle(f)
 	}
 }
 

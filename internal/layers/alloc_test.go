@@ -1,0 +1,85 @@
+package layers
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// The parser is the innermost per-packet loop; it must not allocate on any
+// success path, nor on the common unhandled-protocol skips.
+
+func TestParseTCPZeroAlloc(t *testing.T) {
+	var b Builder
+	frame, err := b.TCPFrame(
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("192.0.2.10"),
+		40000, 443, TCPAck, 7, 9, []byte("payload bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = append([]byte(nil), frame...) // detach from the builder's buffer
+	var p Parser
+	if _, err := p.Parse(frame); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := p.Parse(frame); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("TCP parse allocates %v/op, want 0", n)
+	}
+}
+
+func TestParseUDPZeroAlloc(t *testing.T) {
+	var b Builder
+	frame, err := b.UDPFrame(
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("192.0.2.53"),
+		40000, 53, []byte{0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = append([]byte(nil), frame...)
+	var p Parser
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := p.Parse(frame); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("UDP parse allocates %v/op, want 0", n)
+	}
+}
+
+func TestParseIPv6TCPZeroAlloc(t *testing.T) {
+	var b Builder
+	frame, err := b.TCPFrame(
+		netip.MustParseAddr("2001:db8::1"), netip.MustParseAddr("2001:db8::2"),
+		40000, 443, TCPAck, 7, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = append([]byte(nil), frame...)
+	var p Parser
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := p.Parse(frame); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("IPv6 TCP parse allocates %v/op, want 0", n)
+	}
+}
+
+// Unhandled-but-well-formed frames (ARP, ICMP) are skipped per packet; a
+// capture full of them must not allocate an error each.
+func TestParseUnhandledZeroAlloc(t *testing.T) {
+	arp := make([]byte, EthernetHeaderLen+28)
+	eth := Ethernet{EtherType: EtherTypeARP}
+	frame := eth.AppendTo(nil, arp[EthernetHeaderLen:])
+	var p Parser
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := p.Parse(frame); err == nil {
+			t.Fatal("ARP frame should be unhandled")
+		}
+	}); n != 0 {
+		t.Fatalf("unhandled parse allocates %v/op, want 0", n)
+	}
+}

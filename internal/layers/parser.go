@@ -88,7 +88,7 @@ func (p *Parser) Parse(frame []byte) (*Decoded, error) {
 		payload = p.ip6.Payload
 	default:
 		p.Stats.NonIP++
-		return nil, fmt.Errorf("%w: ethertype %#04x", ErrUnhandled, uint16(p.eth.EtherType))
+		return nil, errUnhandledEtherType
 	}
 	p.Info.Proto = proto
 	switch proto {
@@ -114,7 +114,7 @@ func (p *Parser) Parse(frame []byte) (*Decoded, error) {
 		p.Info.Payload = p.udp.Payload
 	default:
 		p.Stats.OtherProto++
-		return nil, fmt.Errorf("%w: ip protocol %v", ErrUnhandled, proto)
+		return nil, errUnhandledProto
 	}
 	return &p.Info, nil
 }
@@ -123,6 +123,13 @@ func (p *Parser) Parse(frame []byte) (*Decoded, error) {
 // pipeline does not track (ARP, ICMP, ...). Callers should skip, not count
 // as malformed.
 var ErrUnhandled = fmt.Errorf("layers: unhandled protocol")
+
+// Static wrappers returned on the per-packet path: a capture full of ARP or
+// ICMP must not allocate an error per frame.
+var (
+	errUnhandledEtherType = fmt.Errorf("%w: ethertype", ErrUnhandled)
+	errUnhandledProto     = fmt.Errorf("%w: ip protocol", ErrUnhandled)
+)
 
 // Builder composes full frames for the synthesizer. The zero value uses
 // fixed locally administered MAC addresses; only the IP/transport fields

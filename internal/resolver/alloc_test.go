@@ -1,0 +1,52 @@
+package resolver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// Once the Clist has wrapped, the resolver runs on recycled entries and
+// nodes: a saturated steady state must insert and look up without
+// allocating.
+
+func TestInsertSteadyStateZeroAlloc(t *testing.T) {
+	r := New(Config{ClistSize: 32})
+	client := netip.MustParseAddr("10.0.0.1")
+	servers := []netip.Addr{netip.MustParseAddr("192.0.2.10"), netip.MustParseAddr("192.0.2.11")}
+	// Fill the Clist past capacity so eviction and the free lists kick in.
+	for i := 0; i < 128; i++ {
+		r.Insert(client, "cdn.example.com", servers, time.Duration(i))
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Insert(client, "cdn.example.com", servers, time.Second)
+	}); n != 0 {
+		t.Fatalf("steady-state insert allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, ok := r.Lookup(client, servers[0]); !ok {
+			t.Fatal("lookup miss")
+		}
+	}); n != 0 {
+		t.Fatalf("lookup allocates %v/op, want 0", n)
+	}
+}
+
+// The Clist grows lazily: a lightly loaded resolver must not preallocate
+// (or make the GC repeatedly scan) the full million-slot ring.
+func TestClistLazyGrowth(t *testing.T) {
+	r := New(Config{ClistSize: 1 << 20})
+	if got := len(r.clist); got != 0 {
+		t.Fatalf("fresh resolver clist len = %d, want 0", got)
+	}
+	client := netip.MustParseAddr("10.0.0.1")
+	for i := 0; i < 100; i++ {
+		r.Insert(client, "a.example.com", []netip.Addr{netip.MustParseAddr("192.0.2.1")}, 0)
+	}
+	if got := len(r.clist); got != 100 {
+		t.Fatalf("clist len = %d, want 100", got)
+	}
+	if r.stats.Evictions != 0 {
+		t.Fatalf("evictions before capacity: %d", r.stats.Evictions)
+	}
+}

@@ -152,10 +152,31 @@ func (m *orderedServerMap) size() int { return len(m.keys) }
 type Resolver struct {
 	cfg     Config
 	clients map[netip.Addr]serverMap
-	clist   []*Entry
-	next    int
-	stats   Stats
+	// clist grows on demand up to cfg.ClistSize and only then behaves as a
+	// ring. The FIFO semantics are identical to a preallocated ring — slots
+	// fill in index order before any slot is ever recycled — but a lightly
+	// loaded resolver never pays for (or makes the GC scan) a million-slot
+	// pointer array.
+	clist []*Entry
+	next  int
+	// freeEntry recycles evicted Clist entries (with their refs capacity)
+	// so a saturated resolver inserts without allocating. Only used when
+	// History == 0: with history enabled, evicted entries can remain
+	// referenced from node history lists.
+	freeEntry []*Entry
+	// freeNode recycles nodes dropped by eviction.
+	freeNode []*node
+	// Slabs back fresh entries, nodes, and backrefs in blocks, cutting the
+	// filling phase (before the Clist wraps and the free lists take over)
+	// from ~3 heap objects per DNS response to ~3 per slabSize responses.
+	entrySlab []Entry
+	nodeSlab  []node
+	refSlab   []backref
+	stats     Stats
 }
+
+// slabSize is the block size for entry/node/backref slab allocation.
+const slabSize = 256
 
 // New creates a resolver.
 func New(cfg Config) *Resolver {
@@ -165,7 +186,6 @@ func New(cfg Config) *Resolver {
 	return &Resolver{
 		cfg:     cfg,
 		clients: make(map[netip.Addr]serverMap),
-		clist:   make([]*Entry, cfg.ClistSize),
 	}
 }
 
@@ -210,7 +230,8 @@ func (r *Resolver) Insert(clientIP netip.Addr, fqdn string, servers []netip.Addr
 			r.stats.ClientsPeak = len(r.clients)
 		}
 	}
-	entry := &Entry{FQDN: fqdn, At: at, live: true}
+	entry := r.newEntry(fqdn, at)
+	r.reserveRefs(entry, len(servers))
 	for _, serverIP := range servers {
 		r.stats.Addresses++
 		if n, ok := sm.get(serverIP); ok {
@@ -228,11 +249,17 @@ func (r *Resolver) Insert(clientIP netip.Addr, fqdn string, servers []netip.Addr
 			}
 			n.entry = entry
 		} else {
-			sm.put(serverIP, &node{entry: entry})
+			sm.put(serverIP, r.newNode(entry))
 		}
 		entry.refs = append(entry.refs, backref{client: clientIP, server: serverIP})
 	}
-	// Recycle the next Clist slot (lines 22–25).
+	// Recycle the next Clist slot (lines 22–25). While the list is still
+	// below capacity L, slots are appended — index order, exactly the order
+	// a preallocated ring would fill them.
+	if len(r.clist) < r.cfg.ClistSize {
+		r.clist = append(r.clist, entry)
+		return
+	}
 	if old := r.clist[r.next]; old != nil && old.live {
 		r.evict(old)
 	}
@@ -241,6 +268,56 @@ func (r *Resolver) Insert(clientIP netip.Addr, fqdn string, servers []netip.Addr
 	if r.next == len(r.clist) {
 		r.next = 0
 	}
+}
+
+// newEntry takes an entry from the free list, or carves one from the slab.
+func (r *Resolver) newEntry(fqdn string, at time.Duration) *Entry {
+	if n := len(r.freeEntry); n > 0 {
+		e := r.freeEntry[n-1]
+		r.freeEntry = r.freeEntry[:n-1]
+		e.FQDN, e.At, e.Used, e.live = fqdn, at, false, true
+		return e
+	}
+	if len(r.entrySlab) == 0 {
+		r.entrySlab = make([]Entry, slabSize)
+	}
+	e := &r.entrySlab[0]
+	r.entrySlab = r.entrySlab[1:]
+	e.FQDN, e.At, e.live = fqdn, at, true
+	return e
+}
+
+// newNode takes a node from the free list, or carves one from the slab.
+func (r *Resolver) newNode(e *Entry) *node {
+	if n := len(r.freeNode); n > 0 {
+		nd := r.freeNode[n-1]
+		r.freeNode = r.freeNode[:n-1]
+		nd.entry = e
+		return nd
+	}
+	if len(r.nodeSlab) == 0 {
+		r.nodeSlab = make([]node, slabSize)
+	}
+	nd := &r.nodeSlab[0]
+	r.nodeSlab = r.nodeSlab[1:]
+	nd.entry = e
+	return nd
+}
+
+// reserveRefs gives e backref capacity for n appends, carving fresh
+// capacity from the shared slab. An entry's refs are only ever appended
+// inside the single Insert call that created it, so slab regions never
+// interleave; the capacity limit makes a stray overflow re-allocate rather
+// than stomp a neighbor.
+func (r *Resolver) reserveRefs(e *Entry, n int) {
+	if cap(e.refs) >= n {
+		return // recycled entry with enough capacity
+	}
+	if len(r.refSlab) < n {
+		r.refSlab = make([]backref, max(slabSize, n))
+	}
+	e.refs = r.refSlab[:0:n]
+	r.refSlab = r.refSlab[n:]
 }
 
 // evict removes every map key still pointing at e.
@@ -263,6 +340,8 @@ func (r *Resolver) evict(e *Entry) {
 			} else {
 				sm.del(ref.server)
 				r.stats.EvictedRefs++
+				n.entry = nil
+				r.freeNode = append(r.freeNode, n)
 				if sm.size() == 0 {
 					delete(r.clients, ref.client)
 				}
@@ -277,8 +356,16 @@ func (r *Resolver) evict(e *Entry) {
 			}
 		}
 	}
-	e.refs = nil
+	e.refs = e.refs[:0]
 	e.live = false
+	if r.cfg.History == 0 {
+		// With history enabled an evicted entry can still be referenced
+		// from another node's history list, so it must not be reused; the
+		// paper's default (no history) recycles it.
+		r.freeEntry = append(r.freeEntry, e)
+	} else {
+		e.refs = nil
+	}
 }
 
 // removeRef drops one back-reference from the entry (replacement path).

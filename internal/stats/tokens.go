@@ -47,22 +47,37 @@ func TLD(fqdn string) string {
 // SLD returns the second-level domain — the organization-identifying suffix,
 // e.g. SLD("smtp2.mail.google.com") == "google.com". Names that are bare
 // TLDs (or empty) are returned unchanged in lowercase.
+//
+// The result is a suffix substring of the (normalized) input, so for names
+// that are already clean and lowercase — everything the DNS decoder emits —
+// the call performs no allocation. The flow database computes an SLD per
+// labeled flow, which put the old Split+Join implementation among the
+// pipeline's top allocators.
 func SLD(fqdn string) string {
-	labels := SplitFQDN(fqdn)
-	if len(labels) == 0 {
+	fqdn = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(fqdn)), ".")
+	if fqdn == "" {
 		return ""
 	}
+	i := strings.LastIndexByte(fqdn, '.')
+	if i < 0 {
+		return fqdn // bare TLD
+	}
+	j := strings.LastIndexByte(fqdn[:i], '.')
 	tldLabels := 1
-	if len(labels) >= 2 {
-		last2 := labels[len(labels)-2] + "." + labels[len(labels)-1]
-		if _, ok := multiTLD[last2]; ok {
-			tldLabels = 2
+	if _, ok := multiTLD[fqdn[j+1:]]; ok {
+		tldLabels = 2
+	}
+	// Walk back tldLabels+1 dots from the end; the suffix after the last
+	// one walked past is the SLD.
+	end := len(fqdn)
+	for k := 0; k <= tldLabels; k++ {
+		dot := strings.LastIndexByte(fqdn[:end], '.')
+		if dot < 0 {
+			return fqdn // fewer labels than TLD+1: return whole name
 		}
+		end = dot
 	}
-	if len(labels) <= tldLabels {
-		return strings.Join(labels, ".")
-	}
-	return strings.Join(labels[len(labels)-tldLabels-1:], ".")
+	return fqdn[end+1:]
 }
 
 // GeneralizeDigits replaces every maximal run of ASCII digits with a single

@@ -14,6 +14,12 @@ const (
 	NameEU1ADSL1 = "EU1-ADSL1"
 	NameEU1ADSL2 = "EU1-ADSL2"
 	NameEU1FTTH  = "EU1-FTTH"
+	// NameDNSChurn is a synthetic stress vantage point, not one of the
+	// paper's captures: aggressive prefetching and a high session rate
+	// produce a DNS-response-heavy packet mix with fast resolver churn.
+	// The benchmark harness uses it to exercise the DNS decode + insert
+	// path, where the flow-dominated scenarios mostly exercise the tagger.
+	NameDNSChurn = "DNS-CHURN"
 )
 
 // ScenarioNames lists the five Table 1 captures in paper order.
@@ -93,6 +99,21 @@ func NamedScenario(name string, scale float64, seed uint64) Scenario {
 			MobileFraction: 0, TunnelFraction: 0.015,
 			P2PFraction: 0.12, WarmCacheFraction: 0.18,
 			ServiceMix: 0.25, Seed: seed,
+		}
+	case NameDNSChurn:
+		// Stress mix: FTTH-like latencies but with heavy prefetching (most
+		// resolutions never followed by a flow), a dense session rate, and
+		// a cold cache, so the trace is dominated by DNS responses and
+		// short-lived flows — the worst case for resolver and intern churn.
+		return Scenario{
+			Name: name, Geo: GeoEU1,
+			Duration: 90 * time.Minute, StartHour: 20,
+			Clients: n(80), SessionRate: 18,
+			DelayMu: -2.3, DelaySigma: 0.9,
+			PrefetchFactor: 4.5, LatePrefetchProb: 0.10,
+			MobileFraction: 0.10, TunnelFraction: 0.01,
+			P2PFraction: 0.04, WarmCacheFraction: 0,
+			ServiceMix: 0.20, Seed: seed,
 		}
 	default:
 		panic("synth: unknown scenario " + name)
