@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	bench [-scenarios EU1-FTTH,DNS-CHURN] [-shards 1,4,8] [-scale 0.35]
-//	      [-seed 1] [-reps 3] [-out BENCH.json]
+//	bench [-scenarios EU1-FTTH,DNS-CHURN,TRIVANTAGE] [-shards 1,4,8]
+//	      [-scale 0.35] [-seed 1] [-reps 3] [-out BENCH.json]
+//
+// TRIVANTAGE is the multi-vantage scenario: three geographies generated
+// from one seed and ingested concurrently through Engine.RunSources; its
+// packet counts aggregate all three vantages.
 //
 // Each (scenario, shards) cell is run -reps times; the fastest repetition
 // is reported (the usual benchmarking convention: minimum wall time is the
@@ -103,20 +107,25 @@ func main() {
 			continue
 		}
 		log.Printf("synthesizing %s (scale %g)...", name, *scale)
-		tr := dnhunter.GenerateTrace(name, *scale, *seed)
+		traces := generateTraces(name, *scale, *seed)
+		packets := 0
 		var traceBytes int64
-		for _, p := range tr.Packets {
-			traceBytes += int64(len(p.Data))
+		for _, tr := range traces {
+			packets += len(tr.Packets)
+			for _, p := range tr.Packets {
+				traceBytes += int64(len(p.Data))
+			}
 		}
-		log.Printf("%s: %d packets, %.1f MB", name, len(tr.Packets), float64(traceBytes)/1e6)
+		log.Printf("%s: %d packets, %.1f MB (%d vantage(s))",
+			name, packets, float64(traceBytes)/1e6, len(traces))
 		for _, n := range shards {
-			cell, err := runCell(ctx, tr, n, *reps)
+			cell, err := runCell(ctx, traces, n, *reps)
 			if err != nil {
 				log.Fatalf("%s shards=%d: %v", name, n, err)
 			}
 			cell.Scenario = name
 			cell.Shards = n
-			cell.Packets = len(tr.Packets)
+			cell.Packets = packets
 			cell.TraceBytes = traceBytes
 			log.Printf("%s shards=%d: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt",
 				name, n, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt)
@@ -130,7 +139,9 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
@@ -139,30 +150,69 @@ func main() {
 	log.Printf("wrote %s", *out)
 }
 
-// runCell replays tr through an n-shard engine reps times and keeps the
-// fastest repetition's metrics.
-func runCell(ctx context.Context, tr *dnhunter.Trace, n, reps int) (Result, error) {
+// generateTraces expands a scenario name into its vantage traces: one for
+// the single-capture scenarios, three (US/EU1/EU2 from one seed) for
+// TRIVANTAGE.
+func generateTraces(name string, scale float64, seed uint64) []*dnhunter.Trace {
+	if name == synth.NameTriVantage {
+		scs := synth.TriVantageScenarios(scale, seed)
+		out := make([]*dnhunter.Trace, len(scs))
+		for i, sc := range scs {
+			out[i] = synth.Generate(sc)
+		}
+		return out
+	}
+	return []*dnhunter.Trace{dnhunter.GenerateTrace(name, scale, seed)}
+}
+
+// runCell replays the scenario's traces through an n-shard engine reps
+// times and keeps the fastest repetition's metrics. A single trace runs the
+// exact Run path; several run the concurrent multi-vantage path.
+func runCell(ctx context.Context, traces []*dnhunter.Trace, n, reps int) (Result, error) {
 	var best Result
-	eng := dnhunter.NewEngine(dnhunter.WithShards(n))
+	packets := 0
+	for _, tr := range traces {
+		packets += len(tr.Packets)
+	}
 	for i := 0; i < reps; i++ {
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		res, err := eng.RunTrace(ctx, tr)
+		var (
+			stats dnhunter.Stats
+			err   error
+		)
+		if len(traces) == 1 {
+			var res *dnhunter.Result
+			res, err = dnhunter.NewEngine(dnhunter.WithShards(n)).RunTrace(ctx, traces[0])
+			if err == nil {
+				stats = res.Stats
+			}
+		} else {
+			opts := []dnhunter.Option{dnhunter.WithShards(n)}
+			for _, tr := range traces {
+				opts = append(opts, dnhunter.WithTraceSource(tr.Scenario.Name, tr))
+			}
+			var res *dnhunter.MultiResult
+			res, err = dnhunter.NewEngine(opts...).RunSources(ctx)
+			if err == nil {
+				stats = res.Merged.Stats
+			}
+		}
 		elapsed := time.Since(start)
 		if err != nil {
 			return Result{}, err
 		}
 		runtime.ReadMemStats(&after)
-		pkts := float64(len(tr.Packets))
+		pkts := float64(packets)
 		cell := Result{
 			PktsPerSec:   pkts / elapsed.Seconds(),
 			NsPerPkt:     float64(elapsed.Nanoseconds()) / pkts,
 			AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / pkts,
 			BytesPerPkt:  float64(after.TotalAlloc-before.TotalAlloc) / pkts,
-			Flows:        res.Stats.Flows,
-			DNSResponses: res.Stats.DNSResponses,
+			Flows:        stats.Flows,
+			DNSResponses: stats.DNSResponses,
 		}
 		if i == 0 || cell.NsPerPkt < best.NsPerPkt {
 			best = cell

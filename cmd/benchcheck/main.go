@@ -1,21 +1,28 @@
-// Command benchcheck guards the engine's allocation budget in CI: it
+// Command benchcheck guards the engine's performance budget in CI: it
 // parses `go test -bench -benchmem` output and compares each benchmark's
-// allocs/op against a checked-in baseline, failing when a benchmark
-// regresses by more than the tolerance.
+// allocs/op and ns/op against a checked-in baseline, failing when a
+// benchmark regresses by more than the metric's tolerance.
 //
 // Usage:
 //
 //	go test -bench EngineEU1FTTH -benchmem -run '^$' -count 3 | tee bench.txt
 //	benchcheck -baseline bench_baseline.json -in bench.txt
+//	benchcheck -baseline bench_baseline.json -in bench.txt -metric allocs
 //	benchcheck -baseline bench_baseline.json -in bench.txt -update
 //
-// With -count > 1 the minimum allocs/op across runs is compared (allocation
-// counts are stable; the minimum discards one-off runtime noise like pool
-// refills after a GC). Benchmarks absent from the baseline are reported but
-// not enforced: sharded variants allocate differently per GOMAXPROCS, so
-// the baseline pins only the deterministic single-threaded paths. -update
-// rewrites the baseline from the observed numbers for exactly the
-// benchmarks it already tracks.
+// -metric selects what to gate: "allocs", "ns", or "all" (the default).
+// Allocation counts are deterministic, so their tolerance is tight (10%);
+// wall-clock ns/op varies with the machine, so its tolerance is wider (15%)
+// and a baseline without an ns_per_op entry simply skips the ns gate for
+// that benchmark.
+//
+// With -count > 1 the minimum per metric across runs is compared (the
+// minimum discards one-off runtime noise like pool refills after a GC).
+// Benchmarks absent from the baseline are reported but not enforced:
+// sharded variants allocate differently per GOMAXPROCS, so the baseline
+// pins only the deterministic single-threaded paths. -update rewrites the
+// baseline from the observed numbers for exactly the benchmarks it already
+// tracks.
 package main
 
 import (
@@ -31,18 +38,28 @@ import (
 	"strings"
 )
 
-// Baseline is the checked-in allocation budget.
+// Baseline is the checked-in performance budget.
 type Baseline struct {
 	// TolerancePct is the allowed allocs/op regression in percent.
 	TolerancePct float64 `json:"tolerance_pct"`
+	// NsTolerancePct is the allowed ns/op regression in percent (0 = 15).
+	NsTolerancePct float64 `json:"ns_tolerance_pct,omitempty"`
 	// Benchmarks maps the benchmark name (without the -GOMAXPROCS suffix)
 	// to its budget.
 	Benchmarks map[string]Budget `json:"benchmarks"`
 }
 
-// Budget is one benchmark's pinned numbers.
+// Budget is one benchmark's pinned numbers. NsPerOp 0 means "not pinned":
+// the ns gate is skipped for that benchmark.
 type Budget struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+}
+
+// observation is one benchmark's measured minima.
+type observation struct {
+	allocs, ns       float64
+	hasAllocs, hasNs bool
 }
 
 // benchLine matches one `go test -bench -benchmem` result line, e.g.
@@ -55,9 +72,23 @@ func main() {
 	log.SetPrefix("benchcheck: ")
 	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline JSON path")
 	in := flag.String("in", "", "benchmark output file (default stdin)")
-	tolerance := flag.Float64("tolerance", 0, "override baseline tolerance_pct when > 0")
+	tolerance := flag.Float64("tolerance", 0, "override baseline allocs tolerance_pct when > 0")
+	nsTolerance := flag.Float64("ns-tolerance", 0, "override baseline ns_tolerance_pct when > 0")
+	metric := flag.String("metric", "all", "which metrics to gate: allocs, ns, or all")
 	update := flag.Bool("update", false, "rewrite the baseline from the observed numbers")
 	flag.Parse()
+
+	gateAllocs, gateNs := false, false
+	switch *metric {
+	case "allocs":
+		gateAllocs = true
+	case "ns":
+		gateNs = true
+	case "all":
+		gateAllocs, gateNs = true, true
+	default:
+		log.Fatalf("bad -metric %q (want allocs, ns, or all)", *metric)
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -67,12 +98,19 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		log.Fatalf("parsing %s: %v", *baselinePath, err)
 	}
-	tol := base.TolerancePct
+	tolA := base.TolerancePct
 	if *tolerance > 0 {
-		tol = *tolerance
+		tolA = *tolerance
 	}
-	if tol <= 0 {
-		tol = 10
+	if tolA <= 0 {
+		tolA = 10
+	}
+	tolNs := base.NsTolerancePct
+	if *nsTolerance > 0 {
+		tolNs = *nsTolerance
+	}
+	if tolNs <= 0 {
+		tolNs = 15
 	}
 
 	r := os.Stdin
@@ -98,7 +136,15 @@ func main() {
 			if !ok {
 				log.Fatalf("baseline benchmark %q missing from input", name)
 			}
-			base.Benchmarks[name] = Budget{AllocsPerOp: got}
+			// Refuse to pin a metric that was not measured: writing 0 would
+			// make every later run "exceed" the baseline.
+			if !got.hasAllocs {
+				log.Fatalf("%s: no allocs/op in input (was -benchmem passed?)", name)
+			}
+			if !got.hasNs {
+				log.Fatalf("%s: no ns/op in input", name)
+			}
+			base.Benchmarks[name] = Budget{AllocsPerOp: got.allocs, NsPerOp: got.ns}
 		}
 		enc, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
@@ -113,6 +159,23 @@ func main() {
 	}
 
 	failed := false
+	// check gates one metric of one benchmark and reports the outcome.
+	check := func(name, unit string, got, budget, tol float64) {
+		limit := budget * (1 + tol/100)
+		switch {
+		case got > limit:
+			log.Printf("FAIL %s: %.0f %s exceeds baseline %.0f by more than %g%%",
+				name, got, unit, budget, tol)
+			failed = true
+		case got < budget*(1-tol/100):
+			// An improvement beyond tolerance deserves a baseline refresh so
+			// the ratchet keeps holding; flag it without failing.
+			log.Printf("ok   %s: %.0f %s (baseline %.0f — improved, consider -update)",
+				name, got, unit, budget)
+		default:
+			log.Printf("ok   %s: %.0f %s (baseline %.0f)", name, got, unit, budget)
+		}
+	}
 	for name, budget := range base.Benchmarks {
 		got, ok := observed[name]
 		if !ok {
@@ -120,24 +183,29 @@ func main() {
 			failed = true
 			continue
 		}
-		limit := budget.AllocsPerOp * (1 + tol/100)
-		switch {
-		case got > limit:
-			log.Printf("FAIL %s: %.0f allocs/op exceeds baseline %.0f by more than %g%%",
-				name, got, budget.AllocsPerOp, tol)
-			failed = true
-		case got < budget.AllocsPerOp*(1-tol/100):
-			// An improvement beyond tolerance deserves a baseline refresh so
-			// the ratchet keeps holding; flag it without failing.
-			log.Printf("ok   %s: %.0f allocs/op (baseline %.0f — improved, consider -update)",
-				name, got, budget.AllocsPerOp)
-		default:
-			log.Printf("ok   %s: %.0f allocs/op (baseline %.0f)", name, got, budget.AllocsPerOp)
+		if gateAllocs {
+			if !got.hasAllocs {
+				log.Printf("FAIL %s: no allocs/op in input (was -benchmem passed?)", name)
+				failed = true
+			} else {
+				check(name, "allocs/op", got.allocs, budget.AllocsPerOp, tolA)
+			}
+		}
+		if gateNs {
+			switch {
+			case budget.NsPerOp <= 0:
+				log.Printf("skip %s: no ns/op baseline pinned", name)
+			case !got.hasNs:
+				log.Printf("FAIL %s: no ns/op in input", name)
+				failed = true
+			default:
+				check(name, "ns/op", got.ns, budget.NsPerOp, tolNs)
+			}
 		}
 	}
 	for name, got := range observed {
 		if _, ok := base.Benchmarks[name]; !ok {
-			log.Printf("skip %s: %.0f allocs/op (not tracked)", name, got)
+			log.Printf("skip %s: %.0f allocs/op, %.0f ns/op (not tracked)", name, got.allocs, got.ns)
 		}
 	}
 	if failed {
@@ -145,10 +213,11 @@ func main() {
 	}
 }
 
-// parseBench extracts min allocs/op per benchmark name (normalized without
-// the trailing -GOMAXPROCS) from `go test -bench -benchmem` output.
-func parseBench(f *os.File) (map[string]float64, error) {
-	out := make(map[string]float64)
+// parseBench extracts the per-benchmark minima of allocs/op and ns/op
+// (normalized without the trailing -GOMAXPROCS) from `go test -bench
+// -benchmem` output.
+func parseBench(f *os.File) (map[string]observation, error) {
+	out := make(map[string]observation)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
@@ -156,19 +225,28 @@ func parseBench(f *os.File) (map[string]float64, error) {
 			continue
 		}
 		name := normalizeName(m[1])
+		obs := out[name]
 		fields := strings.Fields(m[2])
 		for i := 0; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "allocs/op" {
-				continue
-			}
 			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
-			}
-			if prev, ok := out[name]; !ok || v < prev {
-				out[name] = v
+			switch fields[i+1] {
+			case "allocs/op":
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+				}
+				if !obs.hasAllocs || v < obs.allocs {
+					obs.allocs, obs.hasAllocs = v, true
+				}
+			case "ns/op":
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+				}
+				if !obs.hasNs || v < obs.ns {
+					obs.ns, obs.hasNs = v, true
+				}
 			}
 		}
+		out[name] = obs
 	}
 	return out, sc.Err()
 }

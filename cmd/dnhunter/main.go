@@ -1,13 +1,20 @@
-// Command dnhunter runs the real-time sniffer pipeline over a pcap file:
+// Command dnhunter runs the real-time sniffer pipeline over pcap captures:
 // it decodes DNS responses into the resolver (the clients' cache replica),
 // reconstructs and tags flows, and writes the labeled flow database as CSV.
 // With -shards > 1 packets are hashed by client address onto parallel
 // pipeline shards; the labeled flows and statistics are identical to a
 // single-threaded run (CSV row order may differ).
 //
-// Usage:
+// A single capture:
 //
 //	dnhunter -pcap trace.pcap -out flows.csv [-shards 8] [-clist 1048576] [-stats]
+//
+// Multiple vantage points in one run (the paper's multi-deployment
+// analysis): repeat -trace with name=path pairs. Each vantage runs its own
+// pipeline concurrently; the CSV's vantage column records which capture
+// each flow came from, and statistics print per vantage plus aggregate.
+//
+//	dnhunter -trace US=us.pcap -trace EU1=eu1.pcap -trace EU2=eu2.pcap -out flows.csv
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	dnhunter "repro"
@@ -24,70 +32,133 @@ import (
 	"repro/internal/netio"
 )
 
+// traceFlag collects repeatable -trace name=path arguments.
+type traceFlag struct {
+	names []string
+	paths []string
+}
+
+func (t *traceFlag) String() string { return strings.Join(t.names, ",") }
+
+func (t *traceFlag) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	t.names = append(t.names, name)
+	t.paths = append(t.paths, path)
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dnhunter: ")
-	pcapPath := flag.String("pcap", "", "input pcap file (required)")
+	pcapPath := flag.String("pcap", "", "input pcap file (single-vantage mode)")
+	var traces traceFlag
+	flag.Var(&traces, "trace", "named vantage capture as name=path; repeat for multi-vantage runs")
 	outPath := flag.String("out", "flows.csv", "output CSV of labeled flows")
-	shards := flag.Int("shards", 1, "parallel pipeline shards (-1 = one per CPU)")
+	shards := flag.Int("shards", 1, "parallel pipeline shards per vantage (-1 = one per CPU)")
 	clist := flag.Int("clist", 1<<20, "resolver Clist size L (per shard)")
 	history := flag.Int("history", 0, "multi-label history per (client,server) key")
 	showStats := flag.Bool("stats", true, "print pipeline statistics")
 	flag.Parse()
-	if *pcapPath == "" {
+	if *pcapPath == "" && len(traces.names) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *pcapPath != "" && len(traces.names) > 0 {
+		log.Fatal("use either -pcap or -trace, not both")
 	}
 
 	// Ctrl-C cancels the run instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	in, err := os.Open(*pcapPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer in.Close()
-	src, err := netio.NewReader(in)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	eng := dnhunter.NewEngine(
+	opts := []dnhunter.Option{
 		dnhunter.WithShards(*shards),
 		dnhunter.WithResolver(dnhunter.ResolverConfig{ClistSize: *clist, History: *history}),
+	}
+	open := func(path string) *netio.Reader {
+		in, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The process exits right after the run; readers stay open for it.
+		src, err := netio.NewReader(in)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return src
+	}
+
+	var (
+		res            *dnhunter.Result
+		perVantage     map[string]*dnhunter.Result
+		order          []string
+		resolvedShards int
 	)
-	res, err := eng.Run(ctx, src)
-	if err != nil {
-		log.Fatal(err)
+	if *pcapPath != "" {
+		eng := dnhunter.NewEngine(opts...)
+		resolvedShards = eng.Shards()
+		r, err := eng.Run(ctx, open(*pcapPath))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+	} else {
+		for i, name := range traces.names {
+			opts = append(opts, dnhunter.WithSource(name, open(traces.paths[i])))
+		}
+		eng := dnhunter.NewEngine(opts...)
+		resolvedShards = eng.Shards()
+		multi, err := eng.RunSources(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = multi.Merged
+		perVantage = multi.PerVantage
+		order = multi.Vantages
 	}
 
 	out, err := os.Create(*outPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer out.Close()
 	if err := res.DB.WriteCSV(out); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
 		log.Fatal(err)
 	}
 
 	if *showStats {
-		st := res.Stats
-		fmt.Printf("packets: %d frames (%d TCP, %d UDP, %d malformed)\n",
-			st.Parser.Frames, st.Parser.TCPSegments, st.Parser.UDPDatagram, st.Parser.Malformed)
-		fmt.Printf("dns: %d responses (%d empty, %d malformed), useless %.0f%%\n",
-			st.DNSResponses, st.DNSResponsesEmpty, st.DNSMalformed, 100*st.UselessDNSFraction())
-		fmt.Printf("resolver: %s\n", st.Resolver)
-		fmt.Printf("flows: %d total, %d labeled (%.1f%%)\n",
-			st.Flows, st.LabeledFlows, 100*float64(st.LabeledFlows)/float64(max64(st.Flows, 1)))
-		cov := res.DB.Coverage(0)
-		for _, p := range []flows.L7Proto{flows.L7HTTP, flows.L7TLS, flows.L7P2P, flows.L7Unknown} {
-			if cov.Total[p] > 0 {
-				fmt.Printf("  %-5s %6d flows, %5.1f%% labeled\n", p, cov.Total[p], 100*cov.Ratio(p))
-			}
+		for _, name := range order {
+			fmt.Printf("[%s]\n", name)
+			printStats(perVantage[name])
+		}
+		if len(order) > 0 {
+			fmt.Printf("[aggregate]\n")
+		}
+		printStats(res)
+	}
+	fmt.Printf("wrote %s (%d flows, %d shards)\n", *outPath, res.DB.Len(), resolvedShards)
+}
+
+func printStats(res *dnhunter.Result) {
+	st := res.Stats
+	fmt.Printf("packets: %d frames (%d TCP, %d UDP, %d malformed)\n",
+		st.Parser.Frames, st.Parser.TCPSegments, st.Parser.UDPDatagram, st.Parser.Malformed)
+	fmt.Printf("dns: %d responses (%d empty, %d malformed), useless %.0f%%\n",
+		st.DNSResponses, st.DNSResponsesEmpty, st.DNSMalformed, 100*st.UselessDNSFraction())
+	fmt.Printf("resolver: %s\n", st.Resolver)
+	fmt.Printf("flows: %d total, %d labeled (%.1f%%)\n",
+		st.Flows, st.LabeledFlows, 100*float64(st.LabeledFlows)/float64(max64(st.Flows, 1)))
+	cov := res.DB.Coverage(0)
+	for _, p := range []flows.L7Proto{flows.L7HTTP, flows.L7TLS, flows.L7P2P, flows.L7Unknown} {
+		if cov.Total[p] > 0 {
+			fmt.Printf("  %-5s %6d flows, %5.1f%% labeled\n", p, cov.Total[p], 100*cov.Ratio(p))
 		}
 	}
-	fmt.Printf("wrote %s (%d flows, %d shards)\n", *outPath, res.DB.Len(), eng.Shards())
 }
 
 func max64(a, b uint64) uint64 {

@@ -5,7 +5,8 @@
 //
 //	experiments [-scale 1.0] [-seed 1] [-shards 1] [-live-days 18] [-only T2,F4,...]
 //
-// Experiment ids: T1–T9 (tables), F3–F14 (figures), A (ablations).
+// Experiment ids: T1–T9 (tables), F3–F14 (figures), XV (cross-vantage
+// multi-source analysis over the TRIVANTAGE scenario), A (ablations).
 // -shards parallelizes the pipeline runs; results are identical at any
 // shard count.
 package main
@@ -118,6 +119,10 @@ func main() {
 	if run("F14") {
 		out, _ := s.Figure14()
 		section("F14", out)
+	}
+	if run("XV") {
+		out, _ := s.CrossVantage()
+		section("XV", out)
 	}
 	if run("A") {
 		out, _ := s.AblationClistSize([]int{64, 1024, 16384, 1 << 18})

@@ -2,7 +2,9 @@ package dnhunter
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/flows"
@@ -38,6 +40,7 @@ func SyncSink(s Sink) Sink { return core.SyncSink(s) }
 type engineOptions struct {
 	cfg          core.EngineConfig
 	keepDNSTimes bool
+	sources      []core.NamedSource
 }
 
 // Option configures an Engine.
@@ -97,6 +100,38 @@ func WithDNSTimes() Option {
 	return func(o *engineOptions) { o.keepDNSTimes = true }
 }
 
+// WithSource registers one named packet source — a vantage point — for
+// RunSources. Each vantage runs its own full pipeline (resolver, flow
+// table, shards) concurrently with the others; its name labels every event
+// and flow record it produces. Names must be non-empty and unique. Sources
+// are consumed by one RunSources call: register fresh sources (or rebuild
+// the Engine) before running again.
+func WithSource(name string, src PacketSource) Option {
+	return func(o *engineOptions) {
+		o.sources = append(o.sources, core.NamedSource{Name: name, Src: src})
+	}
+}
+
+// WithTraceSource registers a synthetic trace as a named vantage for
+// RunSources, wiring the trace's ground-truth sidecar for scoring. Flow
+// keys collide across vantage address spaces, so each trace must carry its
+// own truth function — this option handles that.
+func WithTraceSource(name string, tr *Trace) Option {
+	return func(o *engineOptions) {
+		o.sources = append(o.sources, core.NamedSource{Name: name, Src: tr.Source(), Truth: tr.TruthFunc()})
+	}
+}
+
+// WithMergeWindow bounds the virtual-clock skew between concurrently
+// ingested vantages in RunSources: no vantage runs more than d of trace
+// time ahead of the slowest active one, so a shared Sink sees a roughly
+// time-aligned interleave of the vantage event streams. 0 (the default)
+// means 1 minute; a negative d disables pacing entirely. Single-source runs
+// ignore it.
+func WithMergeWindow(d time.Duration) Option {
+	return func(o *engineOptions) { o.cfg.MergeWindow = d }
+}
+
 // Engine is the concurrent DN-Hunter pipeline: the replacement for the
 // single-threaded Pipeline/RunTrace API. An Engine is an immutable
 // configuration handle — every Run builds fresh per-shard state and a
@@ -142,6 +177,67 @@ func (e *Engine) RunTrace(ctx context.Context, tr *Trace) (*Result, error) {
 	}
 	res.Trace = tr
 	return res, nil
+}
+
+// MultiResult is the outcome of one multi-vantage RunSources call.
+type MultiResult struct {
+	// Vantages lists the source names in registration order.
+	Vantages []string
+	// PerVantage holds each vantage's own database, statistics, and (with
+	// WithDNSTimes) DNS response times.
+	PerVantage map[string]*Result
+	// Merged combines all vantages: every flow stamped with its vantage
+	// label in one database (partition it back with FlowDB.ByVantage),
+	// aggregate statistics, and the merged DNS timeline.
+	Merged *Result
+}
+
+// RunSources drains every vantage registered with WithSource /
+// WithTraceSource through its own pipeline concurrently — the multi-vantage
+// ingestion mode behind the paper's cross-vantage comparisons. The
+// configured Sink is shared (events carry Vantage labels; Close fires
+// exactly once); see WithMergeWindow for how vantages are held together in
+// trace time. A single registered source produces aggregate Stats and flow
+// multisets identical to Run over that source.
+func (e *Engine) RunSources(ctx context.Context) (*MultiResult, error) {
+	if len(e.opts.sources) == 0 {
+		return nil, fmt.Errorf("dnhunter: RunSources: no sources registered (use WithSource)")
+	}
+	cfg := e.opts.cfg
+	perDNS := make(map[string][]time.Duration)
+	if e.opts.keepDNSTimes {
+		collector := &FuncSink{DNS: func(ev DNSEvent) { perDNS[ev.Vantage] = append(perDNS[ev.Vantage], ev.At) }}
+		if cfg.Sink != nil {
+			cfg.Sink = MultiSink(cfg.Sink, collector)
+		} else {
+			cfg.Sink = collector
+		}
+	}
+	out, err := core.NewEngine(cfg).RunSources(ctx, e.opts.sources)
+	if err != nil {
+		return nil, err
+	}
+	mr := &MultiResult{
+		Vantages:   out.Vantages,
+		PerVantage: make(map[string]*Result, len(out.Vantages)),
+		Merged:     &Result{DB: out.DB, Stats: out.Stats},
+	}
+	for _, name := range out.Vantages {
+		vr := out.PerVantage[name]
+		res := &Result{DB: vr.DB, Stats: vr.Stats}
+		if e.opts.keepDNSTimes {
+			res.DNSTimes = perDNS[name]
+			// Shards (and sink interleaving) deliver DNS events out of
+			// trace order; restore it.
+			sort.Slice(res.DNSTimes, func(i, j int) bool { return res.DNSTimes[i] < res.DNSTimes[j] })
+			mr.Merged.DNSTimes = append(mr.Merged.DNSTimes, res.DNSTimes...)
+		}
+		mr.PerVantage[name] = res
+	}
+	if e.opts.keepDNSTimes {
+		sort.Slice(mr.Merged.DNSTimes, func(i, j int) bool { return mr.Merged.DNSTimes[i] < mr.Merged.DNSTimes[j] })
+	}
+	return mr, nil
 }
 
 func (e *Engine) run(ctx context.Context, src PacketSource, truth func(FlowKey) string) (*Result, error) {

@@ -2,6 +2,7 @@ package analytics
 
 import (
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -381,5 +382,97 @@ func TestDNSRate(t *testing.T) {
 	vs := DNSRate(times, 10*time.Minute)
 	if len(vs) != 2 || vs[0] != 2 || vs[1] != 1 {
 		t.Fatalf("rate = %v", vs)
+	}
+}
+
+// crossVantageFixture builds two vantages observing the same content org:
+// both see cdn-a, only one sees cdn-b, with disjoint server addresses for
+// the shared host org.
+func crossVantageFixture() []VantageData {
+	odb := orgdb.New([]orgdb.Entry{
+		{Prefix: netip.MustParsePrefix("20.0.0.0/24"), Org: "cdn-a"},
+		{Prefix: netip.MustParsePrefix("30.0.0.0/24"), Org: "cdn-b"},
+	})
+
+	us := flowdb.New()
+	for i := 0; i < 6; i++ {
+		us.Add(mkFlow("10.0.0.1", "20.0.0.1", 80, "img.site.com", flows.L7HTTP, time.Duration(i)*time.Second))
+	}
+	us.Add(mkFlow("10.0.0.1", "30.0.0.1", 80, "www.site.com", flows.L7HTTP, time.Minute))
+	us.Add(mkFlow("10.0.0.1", "30.0.0.2", 80, "other.example.org", flows.L7HTTP, time.Minute))
+
+	eu := flowdb.New()
+	for i := 0; i < 4; i++ {
+		eu.Add(mkFlow("10.0.0.9", "20.0.0.200", 80, "img.site.com", flows.L7HTTP, time.Duration(i)*time.Second))
+	}
+	return []VantageData{
+		{Name: "US", DB: us, Orgs: odb},
+		{Name: "EU", DB: eu, Orgs: odb},
+	}
+}
+
+func TestProviderUsage(t *testing.T) {
+	pf := ProviderUsage(crossVantageFixture(), 0)
+	if len(pf.Vantages) != 2 || pf.Vantages[0] != "US" {
+		t.Fatalf("vantages = %v", pf.Vantages)
+	}
+	// cdn-a carries 10 flows total vs cdn-b's 2: ranked first.
+	if len(pf.Orgs) != 2 || pf.Orgs[0] != "cdn-a" {
+		t.Fatalf("orgs = %v", pf.Orgs)
+	}
+	if pf.LabeledFlows["US"] != 8 || pf.LabeledFlows["EU"] != 4 {
+		t.Fatalf("labeled flows = %v", pf.LabeledFlows)
+	}
+	if got := pf.Share["US"]["cdn-a"]; got != 0.75 {
+		t.Errorf("US cdn-a share = %v, want 0.75", got)
+	}
+	if got := pf.Share["EU"]["cdn-a"]; got != 1.0 {
+		t.Errorf("EU cdn-a share = %v, want 1", got)
+	}
+	if got := pf.Share["EU"]["cdn-b"]; got != 0 {
+		t.Errorf("EU cdn-b share = %v, want 0", got)
+	}
+	if pf.Servers["US"]["cdn-b"] != 2 || pf.Servers["EU"]["cdn-a"] != 1 {
+		t.Errorf("servers = %v", pf.Servers)
+	}
+	// k=1 truncates to the top org.
+	if top := ProviderUsage(crossVantageFixture(), 1); len(top.Orgs) != 1 || top.Orgs[0] != "cdn-a" {
+		t.Errorf("top-1 orgs = %v", top.Orgs)
+	}
+	out := pf.Render()
+	for _, want := range []string{"cdn-a", "cdn-b", "US", "EU", "labeled flows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossVantageFootprint(t *testing.T) {
+	cv := CrossVantageFootprint(crossVantageFixture(), "www.site.com")
+	if cv.SLD != "site.com" {
+		t.Fatalf("SLD = %q", cv.SLD)
+	}
+	if len(cv.Vantages) != 2 {
+		t.Fatalf("vantages = %v", cv.Vantages)
+	}
+	// US sees {cdn-a, cdn-b} for site.com, EU sees {cdn-a}: Jaccard 1/2.
+	if got := cv.HostOverlap[0][1]; got != 0.5 {
+		t.Errorf("host overlap = %v, want 0.5", got)
+	}
+	if cv.HostOverlap[0][0] != 1 || cv.HostOverlap[1][1] != 1 {
+		t.Errorf("diagonal != 1: %v", cv.HostOverlap)
+	}
+	// Server sets are fully disjoint across vantages.
+	if got := cv.ServerOverlap[0][1]; got != 0 {
+		t.Errorf("server overlap = %v, want 0", got)
+	}
+	if cv.Per["US"].TotalFlows != 7 || cv.Per["EU"].TotalFlows != 4 {
+		t.Errorf("per-vantage flows = %d/%d", cv.Per["US"].TotalFlows, cv.Per["EU"].TotalFlows)
+	}
+	out := cv.Render()
+	for _, want := range []string{"site.com", "host-org overlap", "server-IP overlap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
 	}
 }

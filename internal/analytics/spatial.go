@@ -181,6 +181,218 @@ func (n *TreeNode) Render() string {
 	return b.String()
 }
 
+// VantageData bundles one vantage point's pipeline output for the
+// cross-vantage analytics: its (partition of the) labeled-flow database and
+// its IP → organization table. Multi-source Engine runs produce one per
+// registered source (MultiResult.PerVantage).
+type VantageData struct {
+	Name string
+	DB   *flowdb.DB
+	Orgs *orgdb.DB
+}
+
+// ProviderFootprint compares hosting-infrastructure usage across vantage
+// points: for each hosting organization, the share of each vantage's
+// labeled flows it served. It is the aggregate behind the paper's
+// US-vs-EU observations (Table 5, Fig. 9): the same content arrives via
+// different CDNs depending on where the client sits.
+type ProviderFootprint struct {
+	// Vantages in input order.
+	Vantages []string
+	// Orgs is the union of hosting orgs, ranked by total flow count
+	// across vantages (ties alphabetical), truncated to the requested k.
+	Orgs []string
+	// Share maps vantage → hosting org → fraction of that vantage's
+	// labeled flows.
+	Share map[string]map[string]float64
+	// Servers maps vantage → hosting org → distinct server addresses.
+	Servers map[string]map[string]int
+	// LabeledFlows counts each vantage's labeled flows (the denominators).
+	LabeledFlows map[string]int
+}
+
+// ProviderUsage computes the cross-vantage provider footprint over every
+// labeled flow of each vantage, keeping the k hosting orgs with the most
+// total flows (k <= 0 keeps all).
+func ProviderUsage(vantages []VantageData, k int) *ProviderFootprint {
+	pf := &ProviderFootprint{
+		Share:        make(map[string]map[string]float64),
+		Servers:      make(map[string]map[string]int),
+		LabeledFlows: make(map[string]int),
+	}
+	totals := make(map[string]int)
+	for _, v := range vantages {
+		pf.Vantages = append(pf.Vantages, v.Name)
+		flowsPer := make(map[string]int)
+		servers := make(map[string]map[netip.Addr]struct{})
+		labeled := 0
+		for _, f := range v.DB.All() {
+			if !f.Labeled {
+				continue
+			}
+			labeled++
+			org, ok := v.Orgs.Lookup(f.Key.ServerIP)
+			if !ok {
+				org = "unknown"
+			}
+			flowsPer[org]++
+			totals[org]++
+			if servers[org] == nil {
+				servers[org] = make(map[netip.Addr]struct{})
+			}
+			servers[org][f.Key.ServerIP] = struct{}{}
+		}
+		pf.LabeledFlows[v.Name] = labeled
+		share := make(map[string]float64, len(flowsPer))
+		srv := make(map[string]int, len(servers))
+		for org, n := range flowsPer {
+			if labeled > 0 {
+				share[org] = float64(n) / float64(labeled)
+			}
+			srv[org] = len(servers[org])
+		}
+		pf.Share[v.Name] = share
+		pf.Servers[v.Name] = srv
+	}
+	for org := range totals {
+		pf.Orgs = append(pf.Orgs, org)
+	}
+	sort.Slice(pf.Orgs, func(i, j int) bool {
+		if totals[pf.Orgs[i]] != totals[pf.Orgs[j]] {
+			return totals[pf.Orgs[i]] > totals[pf.Orgs[j]]
+		}
+		return pf.Orgs[i] < pf.Orgs[j]
+	})
+	if k > 0 && len(pf.Orgs) > k {
+		pf.Orgs = pf.Orgs[:k]
+	}
+	return pf
+}
+
+// Render prints the footprint as a hosting-org × vantage share table.
+func (pf *ProviderFootprint) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "host org")
+	for _, v := range pf.Vantages {
+		fmt.Fprintf(&b, " %17s", v)
+	}
+	b.WriteByte('\n')
+	for _, org := range pf.Orgs {
+		fmt.Fprintf(&b, "%-14s", org)
+		for _, v := range pf.Vantages {
+			fmt.Fprintf(&b, "  %5.1f%% (%4d ip)", 100*pf.Share[v][org], pf.Servers[v][org])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-14s", "labeled flows")
+	for _, v := range pf.Vantages {
+		fmt.Fprintf(&b, " %17d", pf.LabeledFlows[v])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CrossVantage answers Algorithm 2 for one content organization at several
+// vantage points at once, plus the pairwise overlap of the serving
+// infrastructure — how much of the CDN mix is shared between vantages.
+type CrossVantage struct {
+	SLD      string
+	Vantages []string
+	// Per holds each vantage's spatial-discovery result for the SLD.
+	Per map[string]*SpatialResult
+	// HostOverlap[i][j] is the Jaccard similarity of the hosting-org sets
+	// observed at vantages i and j (1 = same CDN mix, 0 = disjoint).
+	HostOverlap [][]float64
+	// ServerOverlap[i][j] is the Jaccard similarity of the concrete server
+	// address sets (usually far lower than HostOverlap: the same CDN
+	// serves each geography from different racks).
+	ServerOverlap [][]float64
+}
+
+// CrossVantageFootprint runs SpatialDiscovery for name at every vantage and
+// computes the pairwise infrastructure overlaps.
+func CrossVantageFootprint(vantages []VantageData, name string) *CrossVantage {
+	cv := &CrossVantage{SLD: stats.SLD(name), Per: make(map[string]*SpatialResult)}
+	hostSets := make([]map[string]struct{}, len(vantages))
+	serverSets := make([]map[netip.Addr]struct{}, len(vantages))
+	for i, v := range vantages {
+		cv.Vantages = append(cv.Vantages, v.Name)
+		res := SpatialDiscovery(v.DB, v.Orgs, name)
+		cv.Per[v.Name] = res
+		hosts := make(map[string]struct{}, len(res.Hosts))
+		for _, hs := range res.Hosts {
+			hosts[hs.Org] = struct{}{}
+		}
+		hostSets[i] = hosts
+		servers := make(map[netip.Addr]struct{})
+		for _, f := range v.DB.BySLD(cv.SLD) {
+			servers[f.Key.ServerIP] = struct{}{}
+		}
+		serverSets[i] = servers
+	}
+	cv.HostOverlap = make([][]float64, len(vantages))
+	cv.ServerOverlap = make([][]float64, len(vantages))
+	for i := range vantages {
+		cv.HostOverlap[i] = make([]float64, len(vantages))
+		cv.ServerOverlap[i] = make([]float64, len(vantages))
+		for j := range vantages {
+			cv.HostOverlap[i][j] = jaccard(hostSets[i], hostSets[j])
+			cv.ServerOverlap[i][j] = jaccard(serverSets[i], serverSets[j])
+		}
+	}
+	return cv
+}
+
+// jaccard is |a∩b| / |a∪b|; two empty sets count as identical.
+func jaccard[K comparable](a, b map[K]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Render prints the per-vantage host mix and both overlap matrices.
+func (cv *CrossVantage) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", cv.SLD)
+	for _, v := range cv.Vantages {
+		res := cv.Per[v]
+		fmt.Fprintf(&b, "  %-6s %5d flows:", v, res.TotalFlows)
+		for i, hs := range res.Hosts {
+			if i == 4 {
+				fmt.Fprintf(&b, " …")
+				break
+			}
+			fmt.Fprintf(&b, " %s %.0f%%", hs.Org, 100*hs.FlowShare)
+		}
+		b.WriteByte('\n')
+	}
+	writeMatrix := func(title string, m [][]float64) {
+		fmt.Fprintf(&b, "  %s\n  %-8s", title, "")
+		for _, v := range cv.Vantages {
+			fmt.Fprintf(&b, " %6s", v)
+		}
+		b.WriteByte('\n')
+		for i, v := range cv.Vantages {
+			fmt.Fprintf(&b, "  %-8s", v)
+			for j := range cv.Vantages {
+				fmt.Fprintf(&b, " %6.2f", m[i][j])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	writeMatrix("host-org overlap (Jaccard):", cv.HostOverlap)
+	writeMatrix("server-IP overlap (Jaccard):", cv.ServerOverlap)
+	return b.String()
+}
+
 // Heatmap is the Fig. 9 structure: for one content organization, the share
 // of flows served by each hosting org in each trace.
 type Heatmap struct {

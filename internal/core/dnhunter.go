@@ -29,6 +29,9 @@ type TagEvent struct {
 	Hit    bool
 	SYN    bool // true when the flow was caught at its first segment
 	PreDNS time.Duration
+	// Vantage names the packet source that observed the flow; empty for
+	// single-source runs (Engine.Run).
+	Vantage string
 }
 
 // DNSEvent describes one sniffed DNS response.
@@ -37,6 +40,9 @@ type DNSEvent struct {
 	Client   netip.Addr
 	FQDN     string
 	NumAddrs int
+	// Vantage names the packet source that sniffed the response; empty for
+	// single-source runs (Engine.Run).
+	Vantage string
 }
 
 // Config assembles a pipeline.
@@ -58,6 +64,11 @@ type Config struct {
 	// Truth, when set, supplies ground-truth FQDNs for synthetic flows
 	// (used only for scoring, never for labeling).
 	Truth func(flows.Key) string
+	// Vantage labels every emitted event and flow record with the packet
+	// source's name. The multi-source Engine sets it per vantage pipeline;
+	// empty (the default) leaves records unlabeled, preserving the exact
+	// single-source output.
+	Vantage string
 }
 
 // sinkConfig bridges a Sink onto the legacy callback fields.
@@ -249,7 +260,7 @@ func (h *DNHunter) handleDNS(info *layers.Decoded, at time.Duration) {
 	h.stats.DNSResponses++
 	h.res.Insert(client, fqdn, addrs, at)
 	if h.cfg.OnDNSResponse != nil {
-		h.cfg.OnDNSResponse(DNSEvent{At: at, Client: client, FQDN: fqdn, NumAddrs: len(addrs)})
+		h.cfg.OnDNSResponse(DNSEvent{At: at, Client: client, FQDN: fqdn, NumAddrs: len(addrs), Vantage: h.cfg.Vantage})
 	}
 }
 
@@ -269,7 +280,7 @@ func (h *DNHunter) onNewFlow(key flows.Key, at time.Duration, sawSYN bool) {
 	if h.cfg.OnTag != nil {
 		h.cfg.OnTag(TagEvent{
 			Key: key, At: at, Label: tg.label, Hit: tg.hit, SYN: sawSYN,
-			PreDNS: at - tg.dnsAt,
+			PreDNS: at - tg.dnsAt, Vantage: h.cfg.Vantage,
 		})
 	}
 }
@@ -283,6 +294,7 @@ func (h *DNHunter) onRecord(r flows.Record) {
 		Label:   tg.label,
 		Labeled: tg.hit,
 		PreFlow: tg.preFlow,
+		Vantage: h.cfg.Vantage,
 	}
 	if tg.hit {
 		lf.DNSDelay = r.Start - tg.dnsAt

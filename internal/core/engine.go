@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/flowdb"
 	"repro/internal/flows"
@@ -34,8 +35,19 @@ type EngineConfig struct {
 	// Sink receives the event stream; nil discards events.
 	Sink Sink
 	// Truth, when set, supplies ground-truth FQDNs for synthetic flows
-	// (used only for scoring, never for labeling).
+	// (used only for scoring, never for labeling). For multi-source runs a
+	// per-source Truth (NamedSource.Truth) takes precedence.
 	Truth func(flows.Key) string
+	// Vantage labels events and flow records with the packet source's name.
+	// RunSources overrides it per vantage pipeline; leave empty for
+	// single-source runs.
+	Vantage string
+	// MergeWindow bounds the virtual-clock skew between concurrently
+	// ingested sources in RunSources: no vantage runs more than this far
+	// ahead of the slowest active vantage in trace time. 0 means the
+	// 1-minute default; negative disables pacing (sources free-run).
+	// Ignored by single-source Run.
+	MergeWindow time.Duration
 }
 
 // Engine is the concurrent DN-Hunter pipeline. An Engine is an immutable
@@ -130,6 +142,7 @@ func (e *Engine) runSingle(ctx context.Context, src netio.PacketSource) (*Result
 		Resolver: e.cfg.Resolver,
 		Flows:    fcfg,
 		Truth:    e.cfg.Truth,
+		Vantage:  e.cfg.Vantage,
 	}, e.cfg.Sink))
 	done := ctx.Done()
 	for i := 0; ; i++ {

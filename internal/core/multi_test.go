@@ -1,0 +1,333 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flowdb"
+	"repro/internal/synth"
+)
+
+// flowMultisetNoVantage is flowMultiset with the vantage label cleared, so
+// single-source RunSources output (stamped with its source name) can be
+// compared against Run output (unstamped): the records must be identical in
+// every other field.
+func flowMultisetNoVantage(db *flowdb.DB) map[string]int {
+	m := make(map[string]int, db.Len())
+	for _, f := range db.All() {
+		f.Vantage = ""
+		m[fmt.Sprintf("%+v", f)]++
+	}
+	return m
+}
+
+// TestRunSourcesSingleEquivalence is the PR's exact-equivalence invariant:
+// one registered source produces aggregate Stats and flow multisets
+// identical to the single-source Run path, for one shard and for many.
+func TestRunSourcesSingleEquivalence(t *testing.T) {
+	tr := synth.Generate(synth.NamedScenario(synth.NameEU1FTTH, 0.12, 3))
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			single := runEngine(t, tr, shards)
+			eng := NewEngine(EngineConfig{Shards: shards})
+			multi, err := eng.RunSources(context.Background(),
+				[]NamedSource{{Name: "EU1", Src: tr.Source(), Truth: tr.TruthFunc()}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if multi.Stats != single.Stats {
+				t.Errorf("aggregate stats diverge:\n run        %+v\n runsources %+v", single.Stats, multi.Stats)
+			}
+			if got := multi.PerVantage["EU1"].Stats; got != single.Stats {
+				t.Errorf("per-vantage stats diverge:\n run        %+v\n runsources %+v", single.Stats, got)
+			}
+			diffMultisets(t, flowMultisetNoVantage(single.DB), flowMultisetNoVantage(multi.DB), "merged-vs-run")
+			for _, f := range multi.DB.All() {
+				if f.Vantage != "EU1" {
+					t.Fatalf("flow missing vantage stamp: %+v", f)
+				}
+			}
+			if got := multi.DB.Vantages(); len(got) != 1 || got[0] != "EU1" {
+				t.Errorf("Vantages() = %v", got)
+			}
+			if n := len(multi.DB.ByVantage("EU1")); n != multi.DB.Len() {
+				t.Errorf("ByVantage covers %d of %d flows", n, multi.DB.Len())
+			}
+		})
+	}
+}
+
+// TestRunSourcesIsolation: each vantage's partition must be exactly what a
+// standalone Run over that source produces — concurrent ingestion shares no
+// state across vantages even though the synthetic client address spaces
+// collide completely.
+func TestRunSourcesIsolation(t *testing.T) {
+	traces := map[string]*synth.Trace{
+		"US":  synth.Generate(synth.NamedScenario(synth.NameUS3G, 0.1, 5)),
+		"EU1": synth.Generate(synth.NamedScenario(synth.NameEU1FTTH, 0.1, 7)),
+		"EU2": synth.Generate(synth.QuickScenario(11)),
+	}
+	order := []string{"US", "EU1", "EU2"}
+	for _, shards := range []int{1, 3} {
+		var sources []NamedSource
+		for _, name := range order {
+			tr := traces[name]
+			sources = append(sources, NamedSource{Name: name, Src: tr.Source(), Truth: tr.TruthFunc()})
+		}
+		eng := NewEngine(EngineConfig{Shards: shards, MergeWindow: 30 * time.Second})
+		multi, err := eng.RunSources(context.Background(), sources)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+
+		var want Stats
+		total := 0
+		for _, name := range order {
+			solo := runEngine(t, traces[name], shards)
+			vr := multi.PerVantage[name]
+			if vr.Stats != solo.Stats {
+				t.Errorf("shards=%d vantage %s stats diverge from solo run:\n solo  %+v\n multi %+v",
+					shards, name, solo.Stats, vr.Stats)
+			}
+			diffMultisets(t, flowMultisetNoVantage(solo.DB), flowMultisetNoVantage(vr.DB),
+				fmt.Sprintf("shards=%d vantage=%s", shards, name))
+			want.Add(vr.Stats)
+			total += vr.DB.Len()
+			if n := len(multi.DB.ByVantage(name)); n != vr.DB.Len() {
+				t.Errorf("shards=%d: merged ByVantage(%s) has %d flows, partition has %d",
+					shards, name, n, vr.DB.Len())
+			}
+		}
+		if multi.Stats != want {
+			t.Errorf("shards=%d: aggregate stats != sum of partitions", shards)
+		}
+		if multi.DB.Len() != total {
+			t.Errorf("shards=%d: merged DB has %d flows, partitions sum to %d", shards, multi.DB.Len(), total)
+		}
+	}
+}
+
+// TestRunSourcesDeterminism: same sources, same results, run to run.
+func TestRunSourcesDeterminism(t *testing.T) {
+	gen := func() []NamedSource {
+		a := synth.Generate(synth.QuickScenario(41))
+		b := synth.Generate(synth.QuickScenario(43))
+		return []NamedSource{
+			{Name: "A", Src: a.Source(), Truth: a.TruthFunc()},
+			{Name: "B", Src: b.Source(), Truth: b.TruthFunc()},
+		}
+	}
+	eng := NewEngine(EngineConfig{Shards: 2})
+	r1, err := eng.RunSources(context.Background(), gen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.RunSources(context.Background(), gen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats != r2.Stats {
+		t.Errorf("stats not deterministic:\n %+v\n %+v", r1.Stats, r2.Stats)
+	}
+	diffMultisets(t, flowMultiset(r1.DB), flowMultiset(r2.DB), "rerun")
+}
+
+// vantageSink records which vantage labels appear on each event type.
+type vantageSink struct {
+	mu     sync.Mutex
+	tags   map[string]int
+	dns    map[string]int
+	flows  map[string]int
+	closed int
+}
+
+func newVantageSink() *vantageSink {
+	return &vantageSink{tags: map[string]int{}, dns: map[string]int{}, flows: map[string]int{}}
+}
+
+func (s *vantageSink) OnTag(e TagEvent)         { s.mu.Lock(); s.tags[e.Vantage]++; s.mu.Unlock() }
+func (s *vantageSink) OnDNSResponse(e DNSEvent) { s.mu.Lock(); s.dns[e.Vantage]++; s.mu.Unlock() }
+func (s *vantageSink) OnFlow(f flowdb.LabeledFlow) {
+	s.mu.Lock()
+	s.flows[f.Vantage]++
+	s.mu.Unlock()
+}
+func (s *vantageSink) Close() error { s.mu.Lock(); s.closed++; s.mu.Unlock(); return nil }
+
+// TestRunSourcesSinkAttribution: the shared sink sees every vantage's
+// events exactly once, each stamped with its vantage name, and Close fires
+// exactly once for the whole run.
+func TestRunSourcesSinkAttribution(t *testing.T) {
+	a := synth.Generate(synth.QuickScenario(17))
+	b := synth.Generate(synth.QuickScenario(19))
+	for _, shards := range []int{1, 4} {
+		sink := newVantageSink()
+		eng := NewEngine(EngineConfig{Shards: shards, Sink: sink})
+		multi, err := eng.RunSources(context.Background(), []NamedSource{
+			{Name: "A", Src: a.Source()},
+			{Name: "B", Src: b.Source()},
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if sink.closed != 1 {
+			t.Errorf("shards=%d: Close ran %d times", shards, sink.closed)
+		}
+		for _, name := range []string{"A", "B"} {
+			st := multi.PerVantage[name].Stats
+			if uint64(sink.dns[name]) != st.DNSResponses {
+				t.Errorf("shards=%d vantage %s: %d DNS events, want %d", shards, name, sink.dns[name], st.DNSResponses)
+			}
+			if uint64(sink.flows[name]) != st.Flows {
+				t.Errorf("shards=%d vantage %s: %d flow events, want %d", shards, name, sink.flows[name], st.Flows)
+			}
+			if uint64(sink.tags[name]) != st.Table.FlowsCreated {
+				t.Errorf("shards=%d vantage %s: %d tag events, want %d", shards, name, sink.tags[name], st.Table.FlowsCreated)
+			}
+		}
+		if n := len(sink.tags) + len(sink.dns) + len(sink.flows); sink.tags[""]+sink.dns[""]+sink.flows[""] != 0 {
+			t.Errorf("shards=%d: events with empty vantage label (%d label sets)", shards, n)
+		}
+	}
+}
+
+// TestRunSourcesPacingUnevenLengths: a 30-minute trace and a 3-hour trace
+// under a tight merge window — the short vantage finishes early and must
+// not stall the long one (EOF removes it from the skew computation).
+func TestRunSourcesPacingUnevenLengths(t *testing.T) {
+	short := synth.Generate(synth.QuickScenario(23))
+	long := synth.Generate(synth.NamedScenario(synth.NameEU1FTTH, 0.08, 29))
+	eng := NewEngine(EngineConfig{MergeWindow: time.Second})
+	done := make(chan struct{})
+	var multi *MultiResult
+	var err error
+	go func() {
+		defer close(done)
+		multi, err = eng.RunSources(context.Background(), []NamedSource{
+			{Name: "short", Src: short.Source()},
+			{Name: "long", Src: long.Source()},
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("RunSources deadlocked under a tight merge window")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pacing must not change results: compare against the unpaced run.
+	free := NewEngine(EngineConfig{MergeWindow: -1})
+	unpaced, err := free.RunSources(context.Background(), []NamedSource{
+		{Name: "short", Src: short.Source()},
+		{Name: "long", Src: long.Source()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Stats != unpaced.Stats {
+		t.Errorf("pacing changed aggregate stats:\n paced   %+v\n unpaced %+v", multi.Stats, unpaced.Stats)
+	}
+	diffMultisets(t, flowMultiset(unpaced.DB), flowMultiset(multi.DB), "paced-vs-unpaced")
+}
+
+// TestRunSourcesCancel: cancellation unblocks clock waiters and readers,
+// the error surfaces, and the sink still closes exactly once.
+func TestRunSourcesCancel(t *testing.T) {
+	tr := synth.Generate(synth.QuickScenario(31))
+	for _, shards := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		sink := newVantageSink()
+		eng := NewEngine(EngineConfig{Shards: shards, Sink: sink, MergeWindow: time.Second})
+		_, err := eng.RunSources(ctx, []NamedSource{
+			{Name: "A", Src: &endlessSource{pkts: tr.Packets}},
+			{Name: "B", Src: &endlessSource{pkts: tr.Packets}},
+		})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("shards=%d: err = %v, want deadline exceeded", shards, err)
+		}
+		if sink.closed != 1 {
+			t.Errorf("shards=%d: Close ran %d times after cancel", shards, sink.closed)
+		}
+	}
+}
+
+// TestRunSourcesSourceError: one failing vantage aborts the run; the error
+// names the vantage and wraps the cause.
+func TestRunSourcesSourceError(t *testing.T) {
+	tr := synth.Generate(synth.QuickScenario(37))
+	srcErr := errors.New("capture ring overrun")
+	_, err := NewEngine(EngineConfig{}).RunSources(context.Background(), []NamedSource{
+		{Name: "ok", Src: tr.Source()},
+		{Name: "bad", Src: &failingSource{pkts: tr.Packets[:50], err: srcErr}},
+	})
+	if !errors.Is(err, srcErr) {
+		t.Fatalf("err = %v, want wrapped source error", err)
+	}
+	if !strings.Contains(err.Error(), `"bad"`) {
+		t.Errorf("error does not name the failing vantage: %v", err)
+	}
+}
+
+// TestRunSourcesValidation: bad source lists fail fast.
+func TestRunSourcesValidation(t *testing.T) {
+	tr := synth.Generate(synth.QuickScenario(39))
+	eng := NewEngine(EngineConfig{})
+	cases := map[string][]NamedSource{
+		"empty":     {},
+		"unnamed":   {{Name: "", Src: tr.Source()}},
+		"duplicate": {{Name: "X", Src: tr.Source()}, {Name: "X", Src: tr.Source()}},
+		"nil-src":   {{Name: "X", Src: nil}},
+	}
+	for name, sources := range cases {
+		if _, err := eng.RunSources(context.Background(), sources); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestVClockSkewBound: a fast reader blocks at min+window until the slow
+// reader advances, and finish releases it permanently.
+func TestVClockSkewBound(t *testing.T) {
+	c := newVClock(2, time.Minute)
+	c.advance(1, 0) // slow vantage at t=0
+
+	blocked := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		close(blocked)
+		c.advance(0, 5*time.Minute) // 5 min ahead: must block
+		close(released)
+	}()
+	<-blocked
+	select {
+	case <-released:
+		t.Fatal("fast reader not blocked beyond the window")
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.advance(1, 4*time.Minute+time.Second) // now within window
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast reader not released after slow vantage advanced")
+	}
+	// A finished vantage never holds others back.
+	c.advance(1, 4*time.Minute+2*time.Second)
+	c.finish(1)
+	doneCh := make(chan struct{})
+	go func() {
+		c.advance(0, 24*time.Hour)
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("finish did not release the clock")
+	}
+}

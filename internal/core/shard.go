@@ -149,6 +149,7 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 				Resolver: e.cfg.Resolver,
 				Flows:    fcfg,
 				Truth:    e.cfg.Truth,
+				Vantage:  e.cfg.Vantage,
 			}, sink)),
 			ch:   make(chan *shardBatch, 4),
 			pool: pool,

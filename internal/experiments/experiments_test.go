@@ -475,3 +475,49 @@ func childTokens(n *analytics.TreeNode) []string {
 	}
 	return out
 }
+
+func TestCrossVantageOneIngestion(t *testing.T) {
+	multi := shared.TriVantage()
+	if len(multi.Vantages) != 3 {
+		t.Fatalf("vantages = %v", multi.Vantages)
+	}
+	var flowsSum uint64
+	for _, name := range []string{"US", "EU1", "EU2"} {
+		vr, ok := multi.PerVantage[name]
+		if !ok {
+			t.Fatalf("missing vantage %s", name)
+		}
+		if vr.Stats.Flows == 0 || vr.Stats.LabeledFlows == 0 {
+			t.Errorf("%s: empty partition %+v", name, vr.Stats)
+		}
+		flowsSum += vr.Stats.Flows
+		if got := len(multi.DB.ByVantage(name)); got != vr.DB.Len() {
+			t.Errorf("%s: merged partition %d != per-vantage DB %d", name, got, vr.DB.Len())
+		}
+	}
+	if multi.Stats.Flows != flowsSum {
+		t.Errorf("aggregate flows %d != sum %d", multi.Stats.Flows, flowsSum)
+	}
+
+	out, pf := shared.CrossVantage()
+	for _, want := range []string{"US", "EU1", "EU2", "Provider footprint", "CDN overlap", "facebook.com"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CrossVantage output missing %q", want)
+		}
+	}
+	if len(pf.Vantages) != 3 || len(pf.Orgs) == 0 {
+		t.Fatalf("footprint = %+v", pf)
+	}
+	// Footprints must differ by geography (the paper's point): at least
+	// one hosting org's share differs noticeably between US and EU2.
+	differs := false
+	for _, org := range pf.Orgs {
+		if diff := pf.Share["US"][org] - pf.Share["EU2"][org]; diff > 0.01 || diff < -0.01 {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("US and EU2 provider footprints are identical — geography lost")
+	}
+}

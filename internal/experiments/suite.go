@@ -44,6 +44,11 @@ type Suite struct {
 	live *synth.EventTrace
 	// LiveDays shortens the 18-day window for quick runs (0 = 18).
 	LiveDays int
+	// tri caches the multi-vantage TRIVANTAGE ingestion (see
+	// crossvantage.go); triTraces keeps the generated traces in vantage
+	// order for their OrgDB sidecars.
+	tri       *core.MultiResult
+	triTraces []*synth.Trace
 }
 
 // NewSuite creates a suite at the given scale (1.0 ≈ full laptop scale).

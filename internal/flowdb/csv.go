@@ -20,7 +20,12 @@ var csvHeader = []string{
 	"start_ms", "end_ms", "client", "server", "cport", "sport", "proto",
 	"l7", "label", "labeled", "preflow", "dns_delay_ms", "first_after_dns",
 	"pkts_c2s", "pkts_s2c", "bytes_c2s", "bytes_s2c", "sni", "cert", "truth",
+	"vantage",
 }
+
+// legacyCSVColumns is the column count before the vantage column was added;
+// ReadCSV still accepts files written by older versions.
+const legacyCSVColumns = 20
 
 // WriteCSV writes the whole database as CSV with a header row.
 func (db *DB) WriteCSV(w io.Writer) error {
@@ -55,6 +60,7 @@ func (db *DB) WriteCSV(w io.Writer) error {
 			f.SNI,
 			cert,
 			f.Truth,
+			f.Vantage,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -78,10 +84,11 @@ func ReadCSV(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flowdb: reading CSV header: %w", err)
 	}
-	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
+	if (len(header) != len(csvHeader) && len(header) != legacyCSVColumns) || header[0] != csvHeader[0] {
 		return nil, fmt.Errorf("flowdb: unexpected CSV header %v", header)
 	}
 	db := New()
+	cr.FieldsPerRecord = len(header)
 	line := 1
 	for {
 		rec, err := cr.Read()
@@ -163,6 +170,9 @@ func parseCSVRecord(rec []string) (LabeledFlow, error) {
 		f.CertNames = []string{rec[18]}
 	}
 	f.Truth = rec[19]
+	if len(rec) > 20 {
+		f.Vantage = rec[20]
+	}
 	return f, nil
 }
 

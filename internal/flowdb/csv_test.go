@@ -89,3 +89,53 @@ func TestReadCSVEmptyBody(t *testing.T) {
 		t.Fatalf("got %v %v", db.Len(), err)
 	}
 }
+
+func TestCSVVantageRoundTrip(t *testing.T) {
+	db := New()
+	f := lf("www.example.com", "1.1.1.1", 443, flows.L7TLS, time.Second)
+	f.Vantage = "EU1"
+	db.Add(f)
+	db.Add(lf("cdn.example.com", "2.2.2.2", 80, flows.L7HTTP, 2*time.Second)) // no vantage
+
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0).Vantage != "EU1" || got.At(1).Vantage != "" {
+		t.Fatalf("vantages = %q %q", got.At(0).Vantage, got.At(1).Vantage)
+	}
+	if len(got.ByVantage("EU1")) != 1 || len(got.Vantages()) != 1 {
+		t.Fatal("vantage index not rebuilt")
+	}
+}
+
+// TestReadCSVLegacyHeader: files written before the vantage column was
+// added (20 columns) still load, with empty vantage labels.
+func TestReadCSVLegacyHeader(t *testing.T) {
+	db := New()
+	db.Add(lf("www.example.com", "1.1.1.1", 443, flows.L7TLS, time.Second))
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the trailing vantage column from header and rows (the flow has
+	// no vantage, so every line just ends with one extra separator/name).
+	var legacy strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		line = strings.TrimSuffix(line, ",vantage")
+		line = strings.TrimSuffix(line, ",")
+		legacy.WriteString(line)
+		legacy.WriteByte('\n')
+	}
+	got, err := ReadCSV(strings.NewReader(legacy.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.At(0).Vantage != "" {
+		t.Fatalf("legacy load = %d flows, vantage %q", got.Len(), got.At(0).Vantage)
+	}
+}

@@ -35,6 +35,10 @@ type LabeledFlow struct {
 	// sidecar; empty for real captures. Used only for scoring, never by
 	// the pipeline.
 	Truth string
+	// Vantage names the packet source that observed the flow; empty for
+	// single-source runs. Multi-vantage runs (Engine.RunSources) stamp it
+	// so a merged database still partitions per vantage point.
+	Vantage string
 }
 
 // DB is an append-only labeled flow store with secondary indexes.
@@ -42,19 +46,21 @@ type LabeledFlow struct {
 type DB struct {
 	recs []LabeledFlow
 
-	byFQDN   map[string][]int
-	bySLD    map[string][]int
-	byServer map[netip.Addr][]int
-	byPort   map[uint16][]int
+	byFQDN    map[string][]int
+	bySLD     map[string][]int
+	byServer  map[netip.Addr][]int
+	byPort    map[uint16][]int
+	byVantage map[string][]int
 }
 
 // New creates an empty database.
 func New() *DB {
 	return &DB{
-		byFQDN:   make(map[string][]int),
-		bySLD:    make(map[string][]int),
-		byServer: make(map[netip.Addr][]int),
-		byPort:   make(map[uint16][]int),
+		byFQDN:    make(map[string][]int),
+		bySLD:     make(map[string][]int),
+		byServer:  make(map[netip.Addr][]int),
+		byPort:    make(map[uint16][]int),
+		byVantage: make(map[string][]int),
 	}
 }
 
@@ -71,6 +77,9 @@ func (db *DB) Add(f LabeledFlow) {
 	}
 	db.byServer[f.Key.ServerIP] = append(db.byServer[f.Key.ServerIP], idx)
 	db.byPort[f.Key.ServerPort] = append(db.byPort[f.Key.ServerPort], idx)
+	if f.Vantage != "" {
+		db.byVantage[f.Vantage] = append(db.byVantage[f.Vantage], idx)
+	}
 }
 
 // Merge appends every flow of the others into db, maintaining the indexes.
@@ -123,6 +132,21 @@ func (db *DB) ByServer(addr netip.Addr) []*LabeledFlow { return db.gather(db.byS
 
 // ByPort returns flows to the given server port (Algorithm 4's query).
 func (db *DB) ByPort(port uint16) []*LabeledFlow { return db.gather(db.byPort[port]) }
+
+// ByVantage returns flows observed at the named vantage point. Flows from
+// single-source runs carry no vantage and are reachable only via All.
+func (db *DB) ByVantage(name string) []*LabeledFlow { return db.gather(db.byVantage[name]) }
+
+// Vantages returns every distinct vantage label in the database, sorted;
+// empty for single-source runs.
+func (db *DB) Vantages() []string {
+	out := make([]string, 0, len(db.byVantage))
+	for v := range db.byVantage {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // FQDNsOfSLD returns the distinct FQDNs labeled under sld, sorted.
 func (db *DB) FQDNsOfSLD(sld string) []string {

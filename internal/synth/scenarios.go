@@ -20,6 +20,13 @@ const (
 	// The benchmark harness uses it to exercise the DNS decode + insert
 	// path, where the flow-dominated scenarios mostly exercise the tagger.
 	NameDNSChurn = "DNS-CHURN"
+	// NameTriVantage is the multi-geography scenario: one seed expands into
+	// three concurrent vantage points (US, EU1, EU2 — see
+	// TriVantageScenarios) for the cross-vantage comparisons of Figs. 7-9
+	// and Tables 5-8. It is not a single capture: generate it with
+	// TriVantageScenarios and ingest the three traces through
+	// Engine.RunSources.
+	NameTriVantage = "TRIVANTAGE"
 )
 
 // ScenarioNames lists the five Table 1 captures in paper order.
@@ -118,6 +125,27 @@ func NamedScenario(name string, scale float64, seed uint64) Scenario {
 	default:
 		panic("synth: unknown scenario " + name)
 	}
+}
+
+// TriVantageScenarios expands one seed into the three-geography vantage
+// set of the TRIVANTAGE scenario: a US mobile vantage, an EU1 FTTH vantage,
+// and an EU2 ADSL vantage, all covering the same 3-hour evening window so
+// their footprints compare directly. Each vantage derives its own sub-seed,
+// so the three traces are independent but the whole set reproduces from
+// (scale, seed). The scenario Name is the vantage name ("US", "EU1",
+// "EU2") — exactly the label the multi-source Engine stamps on events.
+func TriVantageScenarios(scale float64, seed uint64) []Scenario {
+	us := NamedScenario(NameUS3G, scale, seed*3+1)
+	eu1 := NamedScenario(NameEU1FTTH, scale, seed*3+2)
+	eu2 := NamedScenario(NameEU2ADSL, scale, seed*3+3)
+	us.Name, eu1.Name, eu2.Name = "US", "EU1", "EU2"
+	// Align the capture windows: same duration, same local start hour, so
+	// per-vantage footprints cover comparable diurnal load.
+	for _, sc := range []*Scenario{&us, &eu1, &eu2} {
+		sc.Duration = 3 * time.Hour
+		sc.StartHour = 17
+	}
+	return []Scenario{us, eu1, eu2}
 }
 
 // QuickScenario is a small fast scenario for tests and examples.

@@ -277,3 +277,36 @@ func TestTailNamesGrow(t *testing.T) {
 		t.Fatalf("tail FQDNs = %d, want growth", len(tail))
 	}
 }
+
+func TestTriVantageScenarios(t *testing.T) {
+	scs := TriVantageScenarios(0.5, 9)
+	if len(scs) != 3 {
+		t.Fatalf("got %d scenarios", len(scs))
+	}
+	wantName := []string{"US", "EU1", "EU2"}
+	wantGeo := []Geo{GeoUS, GeoEU1, GeoEU2}
+	seeds := map[uint64]bool{}
+	for i, sc := range scs {
+		if sc.Name != wantName[i] {
+			t.Errorf("scenario %d name = %q, want %q", i, sc.Name, wantName[i])
+		}
+		if sc.Geo != wantGeo[i] {
+			t.Errorf("%s geo = %q, want %q", sc.Name, sc.Geo, wantGeo[i])
+		}
+		if sc.Duration != 3*time.Hour || sc.StartHour != 17 {
+			t.Errorf("%s window = %v @ %vh, want aligned 3h @ 17h", sc.Name, sc.Duration, sc.StartHour)
+		}
+		if seeds[sc.Seed] {
+			t.Errorf("%s reuses seed %d", sc.Name, sc.Seed)
+		}
+		seeds[sc.Seed] = true
+	}
+	// Reproducible from (scale, seed): regenerating yields identical traces.
+	again := TriVantageScenarios(0.5, 9)
+	for i := range scs {
+		a, b := Generate(scs[i]), Generate(again[i])
+		if len(a.Packets) != len(b.Packets) || a.Flows != b.Flows || a.DNSResponses != b.DNSResponses {
+			t.Errorf("%s not reproducible: %d/%d packets", scs[i].Name, len(a.Packets), len(b.Packets))
+		}
+	}
+}

@@ -249,3 +249,60 @@ func TestFirstFlowDelaysPlausible(t *testing.T) {
 		t.Fatalf("fast first-flow fraction = %v", frac)
 	}
 }
+
+// TestFacadeMultiVantage drives the public multi-source API end to end:
+// three synthetic vantages through one RunSources call, with DNS times
+// collected per vantage.
+func TestFacadeMultiVantage(t *testing.T) {
+	trs := map[string]*Trace{
+		"US":  GenerateQuickTrace(51),
+		"EU1": GenerateQuickTrace(53),
+	}
+	eng := NewEngine(
+		WithShards(2),
+		WithDNSTimes(),
+		WithTraceSource("US", trs["US"]),
+		WithTraceSource("EU1", trs["EU1"]),
+		WithMergeWindow(10*time.Second),
+	)
+	multi, err := eng.RunSources(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Vantages) != 2 || multi.Vantages[0] != "US" || multi.Vantages[1] != "EU1" {
+		t.Fatalf("vantages = %v", multi.Vantages)
+	}
+	var dnsSum int
+	for name, vr := range multi.PerVantage {
+		if vr.DB.Len() == 0 || vr.Stats.LabeledFlows == 0 {
+			t.Errorf("%s: empty partition", name)
+		}
+		if len(vr.DNSTimes) != int(vr.Stats.DNSResponses) {
+			t.Errorf("%s: %d DNS times vs %d responses", name, len(vr.DNSTimes), vr.Stats.DNSResponses)
+		}
+		for i := 1; i < len(vr.DNSTimes); i++ {
+			if vr.DNSTimes[i] < vr.DNSTimes[i-1] {
+				t.Errorf("%s: DNS times out of order", name)
+				break
+			}
+		}
+		dnsSum += len(vr.DNSTimes)
+		// Truth sidecars must not leak across vantages: scoring agreement
+		// stays high within each partition.
+		for _, f := range vr.DB.All() {
+			if f.Vantage != name {
+				t.Fatalf("%s: flow stamped %q", name, f.Vantage)
+			}
+		}
+	}
+	if len(multi.Merged.DNSTimes) != dnsSum {
+		t.Errorf("merged DNS times %d != sum %d", len(multi.Merged.DNSTimes), dnsSum)
+	}
+	if multi.Merged.DB.Len() != multi.PerVantage["US"].DB.Len()+multi.PerVantage["EU1"].DB.Len() {
+		t.Errorf("merged DB size mismatch")
+	}
+	// Misuse surfaces as errors, not panics.
+	if _, err := NewEngine().RunSources(context.Background()); err == nil {
+		t.Error("RunSources without sources should fail")
+	}
+}
