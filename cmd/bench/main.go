@@ -1,22 +1,36 @@
 // Command bench is the reproducible engine benchmark harness: it
-// synthesizes named scenarios, replays each through the Engine at several
-// shard counts, and emits a machine-readable JSON report. CI runs it (and
-// `go test -bench`) to keep BENCH_*.json files honest; see the README's
-// Performance section for the schema.
+// synthesizes named scenarios, replays each through the Engine across a
+// (GOMAXPROCS × shard-count) matrix, and emits a machine-readable JSON
+// report. CI runs it (and `go test -bench`) to keep BENCH_*.json files
+// honest; see the README's Performance section for the schema.
 //
 // Usage:
 //
 //	bench [-scenarios EU1-FTTH,DNS-CHURN,TRIVANTAGE] [-shards 1,4,8]
-//	      [-scale 0.35] [-seed 1] [-reps 3] [-out BENCH.json]
+//	      [-gomaxprocs 0] [-scale 0.35] [-seed 1] [-reps 3]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-out BENCH.json]
+//
+// -gomaxprocs is a comma-separated list of GOMAXPROCS values to run every
+// (scenario, shards) cell under; 0 means "leave the runtime default". Each
+// cell records the GOMAXPROCS it actually ran at, because a multi-shard
+// number measured at GOMAXPROCS=1 measures dispatch overhead, not scaling.
+// Within each (scenario, gomaxprocs) group the shards=1 cell is the
+// scaling denominator: every cell's speedup_vs_1shard is its throughput
+// over that baseline.
 //
 // TRIVANTAGE is the multi-vantage scenario: three geographies generated
 // from one seed and ingested concurrently through Engine.RunSources; its
 // packet counts aggregate all three vantages.
 //
-// Each (scenario, shards) cell is run -reps times; the fastest repetition
-// is reported (the usual benchmarking convention: minimum wall time is the
-// least noisy estimator on a shared machine). Allocation metrics come from
+// Each cell is run -reps times; the fastest repetition is reported (the
+// usual benchmarking convention: minimum wall time is the least noisy
+// estimator on a shared machine). Allocation metrics come from
 // runtime.MemStats deltas around the timed run.
+//
+// -cpuprofile covers every timed cell in one profile; -memprofile writes a
+// heap profile after the last cell. Both are meant to be uploaded as CI
+// artifacts so a dispatch-path regression can be diagnosed without a local
+// reproduction.
 package main
 
 import (
@@ -27,6 +41,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -39,15 +54,20 @@ import (
 type Report struct {
 	// Meta describes the machine and configuration the numbers came from.
 	Meta Meta `json:"meta"`
-	// Results holds one entry per (scenario, shards) cell.
+	// Results holds one entry per (scenario, gomaxprocs, shards) cell.
 	Results []Result `json:"results"`
 }
 
 // Meta captures the run environment.
 type Meta struct {
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count: the hard ceiling on real
+	// parallelism no matter what GOMAXPROCS says. Scaling gates must not
+	// expect shards=N to beat shards=1 when NumCPU < N.
+	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the process default before any per-cell override.
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Scale      float64 `json:"scale"`
 	Seed       uint64  `json:"seed"`
@@ -58,6 +78,8 @@ type Meta struct {
 type Result struct {
 	Scenario string `json:"scenario"`
 	Shards   int    `json:"shards"`
+	// GOMAXPROCS is the value the cell actually ran at.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Packets replayed per repetition.
 	Packets int `json:"packets"`
 	// TraceBytes is the total frame bytes replayed per repetition.
@@ -67,6 +89,9 @@ type Result struct {
 	NsPerPkt     float64 `json:"ns_per_pkt"`
 	AllocsPerPkt float64 `json:"allocs_per_pkt"`
 	BytesPerPkt  float64 `json:"bytes_per_pkt"`
+	// SpeedupVs1Shard is PktsPerSec over the shards=1 cell of the same
+	// (scenario, gomaxprocs) group; 0 when that group has no shards=1 cell.
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard,omitempty"`
 	// Flows and DNSResponses let a reader sanity-check that the pipeline
 	// actually did the work (and that shard counts agree).
 	Flows        uint64 `json:"flows"`
@@ -79,22 +104,46 @@ func main() {
 	scenarios := flag.String("scenarios", synth.NameEU1FTTH+","+synth.NameDNSChurn,
 		"comma-separated scenario names")
 	shardList := flag.String("shards", "1,4,8", "comma-separated shard counts")
+	procList := flag.String("gomaxprocs", "0",
+		"comma-separated GOMAXPROCS values per cell (0 = runtime default)")
 	scale := flag.Float64("scale", 0.35, "scenario scale factor")
 	seed := flag.Uint64("seed", 1, "synthesis seed")
 	reps := flag.Int("reps", 3, "repetitions per cell (fastest wins)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering all cells")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the last cell")
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	flag.Parse()
 
-	shards, err := parseInts(*shardList)
+	shards, err := parseInts(*shardList, 1)
 	if err != nil {
 		log.Fatalf("bad -shards: %v", err)
 	}
+	procs, err := parseInts(*procList, 0)
+	if err != nil {
+		log.Fatalf("bad -gomaxprocs: %v", err)
+	}
+	defaultProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(defaultProcs)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	rep := Report{
 		Meta: Meta{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: defaultProcs,
 			Scale:      *scale,
 			Seed:       *seed,
 			Reps:       *reps,
@@ -118,18 +167,56 @@ func main() {
 		}
 		log.Printf("%s: %d packets, %.1f MB (%d vantage(s))",
 			name, packets, float64(traceBytes)/1e6, len(traces))
-		for _, n := range shards {
-			cell, err := runCell(ctx, traces, n, *reps)
-			if err != nil {
-				log.Fatalf("%s shards=%d: %v", name, n, err)
+		for _, g := range procs {
+			eff := g
+			if eff == 0 {
+				eff = defaultProcs
 			}
-			cell.Scenario = name
-			cell.Shards = n
-			cell.Packets = packets
-			cell.TraceBytes = traceBytes
-			log.Printf("%s shards=%d: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt",
-				name, n, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt)
-			rep.Results = append(rep.Results, cell)
+			runtime.GOMAXPROCS(eff)
+			group := make([]Result, 0, len(shards))
+			for _, n := range shards {
+				cell, err := runCell(ctx, traces, n, *reps)
+				if err != nil {
+					log.Fatalf("%s gomaxprocs=%d shards=%d: %v", name, eff, n, err)
+				}
+				cell.Scenario = name
+				cell.Shards = n
+				cell.GOMAXPROCS = eff
+				cell.Packets = packets
+				cell.TraceBytes = traceBytes
+				log.Printf("%s gomaxprocs=%d shards=%d: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt",
+					name, eff, n, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt)
+				group = append(group, cell)
+			}
+			// Speedups are filled in after the group completes so the
+			// -shards order cannot hide the shards=1 baseline.
+			var base float64
+			for _, cell := range group {
+				if cell.Shards == 1 {
+					base = cell.PktsPerSec
+				}
+			}
+			for i := range group {
+				if base > 0 {
+					group[i].SpeedupVs1Shard = group[i].PktsPerSec / base
+				}
+			}
+			rep.Results = append(rep.Results, group...)
+		}
+		runtime.GOMAXPROCS(defaultProcs)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("writing heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -221,7 +308,9 @@ func runCell(ctx context.Context, traces []*dnhunter.Trace, n, reps int) (Result
 	return best, nil
 }
 
-func parseInts(s string) ([]int, error) {
+// parseInts parses a comma-separated integer list, rejecting values below
+// minVal.
+func parseInts(s string, minVal int) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		f = strings.TrimSpace(f)
@@ -232,8 +321,8 @@ func parseInts(s string) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%q: %w", f, err)
 		}
-		if v < 1 {
-			return nil, fmt.Errorf("shard count %d < 1", v)
+		if v < minVal {
+			return nil, fmt.Errorf("value %d < %d", v, minVal)
 		}
 		out = append(out, v)
 	}

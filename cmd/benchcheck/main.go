@@ -1,7 +1,8 @@
 // Command benchcheck guards the engine's performance budget in CI: it
 // parses `go test -bench -benchmem` output and compares each benchmark's
 // allocs/op and ns/op against a checked-in baseline, failing when a
-// benchmark regresses by more than the metric's tolerance.
+// benchmark regresses by more than the metric's tolerance. It also gates
+// the sharding speedup from a `cmd/bench` JSON report (-scaling).
 //
 // Usage:
 //
@@ -9,6 +10,16 @@
 //	benchcheck -baseline bench_baseline.json -in bench.txt
 //	benchcheck -baseline bench_baseline.json -in bench.txt -metric allocs
 //	benchcheck -baseline bench_baseline.json -in bench.txt -update
+//	benchcheck -scaling BENCH.json -scaling-tolerance 10
+//
+// -scaling switches to the scaling gate: the input is a `cmd/bench` report
+// and every multi-shard cell must reach at least (1 - tolerance%) of the
+// shards=1 throughput of its (scenario, gomaxprocs) group — sharding that
+// makes the engine slower than single-shard is a dispatch-path regression.
+// Cells that cannot physically scale are skipped with a note: a cell whose
+// recorded gomaxprocs is below its shard count only measures dispatch
+// overhead, and a machine with fewer CPUs than shards (meta.num_cpu) can
+// time-slice but not parallelize.
 //
 // -metric selects what to gate: "allocs", "ns", or "all" (the default).
 // Allocation counts are deterministic, so their tolerance is tight (10%);
@@ -76,7 +87,18 @@ func main() {
 	nsTolerance := flag.Float64("ns-tolerance", 0, "override baseline ns_tolerance_pct when > 0")
 	metric := flag.String("metric", "all", "which metrics to gate: allocs, ns, or all")
 	update := flag.Bool("update", false, "rewrite the baseline from the observed numbers")
+	scaling := flag.String("scaling", "", "cmd/bench JSON report: gate multi-shard vs shards=1 throughput instead")
+	scalingTol := flag.Float64("scaling-tolerance", 10, "allowed multi-shard shortfall vs shards=1 in percent")
+	scalingMin := flag.Float64("scaling-min-speedup", 0,
+		"when > 0, additionally require gateable multi-shard cells to reach this speedup over shards=1 (e.g. 1.8)")
 	flag.Parse()
+
+	if *scaling != "" {
+		if err := checkScaling(*scaling, *scalingTol, *scalingMin); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	gateAllocs, gateNs := false, false
 	switch *metric {
@@ -211,6 +233,91 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// benchReport mirrors the cmd/bench JSON schema, keeping only the fields
+// the scaling gate reads.
+type benchReport struct {
+	Meta struct {
+		NumCPU int `json:"num_cpu"`
+	} `json:"meta"`
+	Results []benchCell `json:"results"`
+}
+
+type benchCell struct {
+	Scenario   string  `json:"scenario"`
+	Shards     int     `json:"shards"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+}
+
+// checkScaling enforces the sharding gate: within every (scenario,
+// gomaxprocs) group of the report, each multi-shard cell must reach at
+// least (1 - tol%) of the group's shards=1 throughput — and, when
+// minSpeedup > 0, at least that multiple of it (the paper-style scaling
+// assertion, e.g. 1.8 for shards=4 on a ≥4-core box). Cells the machine
+// cannot parallelize (num_cpu or gomaxprocs below the shard count) are
+// reported and skipped, so the gate is meaningful on many-core CI runners
+// without failing spuriously on small boxes.
+func checkScaling(path string, tol, minSpeedup float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %v", path, err)
+	}
+	type groupKey struct {
+		scenario string
+		procs    int
+	}
+	base := make(map[groupKey]float64)
+	for _, c := range rep.Results {
+		if c.Shards == 1 {
+			base[groupKey{c.Scenario, c.GOMAXPROCS}] = c.PktsPerSec
+		}
+	}
+	failed, gated := false, 0
+	for _, c := range rep.Results {
+		if c.Shards <= 1 {
+			continue
+		}
+		name := fmt.Sprintf("%s gomaxprocs=%d shards=%d", c.Scenario, c.GOMAXPROCS, c.Shards)
+		b, ok := base[groupKey{c.Scenario, c.GOMAXPROCS}]
+		if !ok || b <= 0 {
+			log.Printf("skip %s: no shards=1 cell in its group", name)
+			continue
+		}
+		ratio := c.PktsPerSec / b
+		floor := 1 - tol/100
+		if minSpeedup > floor {
+			floor = minSpeedup
+		}
+		switch {
+		case rep.Meta.NumCPU < c.Shards:
+			log.Printf("skip %s: machine has %d CPU(s), cannot scale to %d shards (%.2fx measured)",
+				name, rep.Meta.NumCPU, c.Shards, ratio)
+		case c.GOMAXPROCS < c.Shards:
+			log.Printf("skip %s: gomaxprocs below shard count (%.2fx measured)", name, ratio)
+		case ratio < floor:
+			log.Printf("FAIL %s: %.0f pkts/sec is %.2fx the shards=1 baseline %.0f (floor %.2fx)",
+				name, c.PktsPerSec, ratio, b, floor)
+			failed = true
+			gated++
+		default:
+			log.Printf("ok   %s: %.0f pkts/sec, %.2fx shards=1 (floor %.2fx)",
+				name, c.PktsPerSec, ratio, floor)
+			gated++
+		}
+	}
+	if gated == 0 {
+		log.Printf("note: no gateable multi-shard cells (machine too small or matrix has no multi-shard runs)")
+	}
+	if failed {
+		os.Exit(1)
+	}
+	return nil
 }
 
 // parseBench extracts the per-benchmark minima of allocs/op and ns/op

@@ -215,15 +215,24 @@ func (h *DNHunter) HandlePacket(pkt netio.Packet) {
 	h.handleParsed(info, pkt.Timestamp)
 }
 
-// handleParsed feeds one already-decoded packet through the pipeline. The
-// shard workers use it directly: the Engine's dispatcher owns the parser,
-// so shards skip the parse step (and keep zero parser stats of their own).
+// handleParsed feeds one already-decoded packet through the pipeline.
 func (h *DNHunter) handleParsed(info *layers.Decoded, at time.Duration) {
 	if info.HasUDP && (info.SrcPort == 53 || info.DstPort == 53) {
-		h.handleDNS(info, at)
+		h.handleDNSPayload(info.DstIP, info.Payload, at)
 		return
 	}
 	h.table.Add(info, at, h.onNewFlow)
+}
+
+// handleOrientedFlow feeds one pre-routed flow entry through the pipeline.
+// The shard workers use it directly: the Engine's dispatcher owns the
+// parser and the orientation replica, so shards skip both the parse and
+// the orient step (and keep zero parser stats of their own).
+func (h *DNHunter) handleOrientedFlow(e *shardEntry, payload []byte) {
+	p := flows.OrientedPacket{
+		Key: e.key, C2S: e.c2s, TCP: e.tcp, Flags: e.flags, Payload: payload,
+	}
+	h.table.AddOriented(&p, e.at, h.onNewFlow)
 }
 
 // sweepIdle expires idle flows as of now. The sharded Engine drives it with
@@ -238,9 +247,11 @@ func (h *DNHunter) Close() {
 	h.table.FlushAll()
 }
 
-// handleDNS decodes a DNS payload and inserts responses into the resolver.
-func (h *DNHunter) handleDNS(info *layers.Decoded, at time.Duration) {
-	if err := h.dnsMsg.Unpack(info.Payload); err != nil {
+// handleDNSPayload decodes a DNS payload and inserts responses into the
+// resolver. client is the packet's destination address: a response travels
+// server → client, so the monitored client is the destination.
+func (h *DNHunter) handleDNSPayload(client netip.Addr, payload []byte, at time.Duration) {
+	if err := h.dnsMsg.Unpack(payload); err != nil {
 		h.stats.DNSMalformed++
 		return
 	}
@@ -254,9 +265,6 @@ func (h *DNHunter) handleDNS(info *layers.Decoded, at time.Duration) {
 		h.stats.DNSResponsesEmpty++
 		return
 	}
-	// The response travels server -> client: the monitored client is the
-	// destination address.
-	client := info.DstIP
 	h.stats.DNSResponses++
 	h.res.Insert(client, fqdn, addrs, at)
 	if h.cfg.OnDNSResponse != nil {

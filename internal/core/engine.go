@@ -21,8 +21,8 @@ type EngineConfig struct {
 	// sharding (§3.1.1). 0 means 1 (the exact single-threaded pipeline);
 	// negative means GOMAXPROCS.
 	Shards int
-	// Batch is the number of packets per dispatcher→shard hand-off; 0 means
-	// 512. Only used when Shards > 1.
+	// Batch is the number of entries per dispatcher→shard ring slot (the
+	// hand-off granularity); 0 means 512. Only used when Shards > 1.
 	Batch int
 	// Resolver configures each shard's DNS cache replica. Note the Clist
 	// size applies per shard.
@@ -93,9 +93,36 @@ type Result struct {
 	Stats Stats
 }
 
-// ctxCheckEvery bounds how many packets are processed between context
-// polls; a power of two so the check compiles to a mask.
-const ctxCheckEvery = 256
+// blockFetcher adapts any PacketSource to block reads: sources that
+// implement netio.BlockSource frame many packets per call, others fall
+// back to one Next per read (Next's buffer-reuse contract forbids batching
+// it — the second packet would invalidate the first).
+type blockFetcher struct {
+	bs  netio.BlockSource
+	src netio.PacketSource
+}
+
+func newBlockFetcher(src netio.PacketSource) blockFetcher {
+	f := blockFetcher{src: src}
+	if bs, ok := src.(netio.BlockSource); ok {
+		f.bs = bs
+	}
+	return f
+}
+
+// read fills dst with at least one packet unless err is non-nil; dst[:n]
+// is valid even alongside a non-nil err (including io.EOF).
+func (f blockFetcher) read(dst []netio.Packet) (int, error) {
+	if f.bs != nil {
+		return f.bs.ReadBlock(dst)
+	}
+	pkt, err := f.src.Next()
+	if err != nil {
+		return 0, err
+	}
+	dst[0] = pkt
+	return 1, nil
+}
 
 // yieldEvery bounds how many packets are processed between explicit
 // scheduler yields. The near-allocation-free hot loop no longer enters the
@@ -103,7 +130,8 @@ const ctxCheckEvery = 256
 // goroutines that would cancel the context (os/signal watcher, timers)
 // can starve until EOF without this. A power of two; large enough that the
 // yield costs well under 1% of throughput, small enough that cancellation
-// latency stays in single-digit milliseconds.
+// latency stays in single-digit milliseconds. The context itself is
+// polled every read block (≤ blockLen packets).
 const yieldEvery = 8192
 
 // Run drains the packet source through the pipeline and returns the merged
@@ -145,25 +173,29 @@ func (e *Engine) runSingle(ctx context.Context, src netio.PacketSource) (*Result
 		Vantage:  e.cfg.Vantage,
 	}, e.cfg.Sink))
 	done := ctx.Done()
-	for i := 0; ; i++ {
-		if i&(ctxCheckEvery-1) == 0 {
-			if i&(yieldEvery-1) == 0 {
-				runtime.Gosched() // see yieldEvery
-			}
-			select {
-			case <-done:
-				return nil, ctx.Err()
-			default:
-			}
+	block := make([]netio.Packet, blockLen)
+	fetch := newBlockFetcher(src)
+	for processed := 0; ; {
+		if processed&^(yieldEvery-1) != 0 {
+			processed &= yieldEvery - 1
+			runtime.Gosched() // see yieldEvery
 		}
-		pkt, err := src.Next()
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+		n, err := fetch.read(block)
+		for i := 0; i < n; i++ {
+			h.HandlePacket(block[i])
+		}
+		processed += n
 		if err != nil {
 			if err == io.EOF {
 				break
 			}
 			return nil, fmt.Errorf("core: packet source: %w", err)
 		}
-		h.HandlePacket(pkt)
 	}
 	h.Close()
 	return &Result{DB: h.DB(), Stats: h.Stats()}, nil

@@ -138,24 +138,45 @@ func (c *vclock) close() {
 // pacedSource wraps a vantage's PacketSource with merged-clock pacing. It
 // enters the clock only when trace time has advanced by a tick — pacing is
 // a coarse-grained rendezvous, so the per-packet hot path stays lock-free.
+// It forwards block reads (netio.BlockSource) so paced vantages keep the
+// bulk reader stage; the clock is then entered at block granularity, which
+// is within the rendezvous' tick-level coarseness.
 type pacedSource struct {
-	src   netio.PacketSource
+	fetch blockFetcher
 	clock *vclock
 	idx   int
 	tick  time.Duration
 	next  time.Duration // next trace time at which to enter the clock
 }
 
+func newPacedSource(src netio.PacketSource, clock *vclock, idx int, tick time.Duration) *pacedSource {
+	return &pacedSource{fetch: newBlockFetcher(src), clock: clock, idx: idx, tick: tick}
+}
+
+func (p *pacedSource) pace(ts time.Duration) {
+	if ts >= p.next {
+		p.next = ts + p.tick
+		p.clock.advance(p.idx, ts)
+	}
+}
+
 func (p *pacedSource) Next() (netio.Packet, error) {
-	pkt, err := p.src.Next()
+	pkt, err := p.fetch.src.Next()
 	if err != nil {
 		return pkt, err
 	}
-	if pkt.Timestamp >= p.next {
-		p.next = pkt.Timestamp + p.tick
-		p.clock.advance(p.idx, pkt.Timestamp)
-	}
+	p.pace(pkt.Timestamp)
 	return pkt, nil
+}
+
+// ReadBlock implements netio.BlockSource. The clock is entered once per
+// block, on the newest timestamp read.
+func (p *pacedSource) ReadBlock(dst []netio.Packet) (int, error) {
+	n, err := p.fetch.read(dst)
+	if n > 0 {
+		p.pace(dst[n-1].Timestamp)
+	}
+	return n, err
 }
 
 // RunSources drains every named source through its own vantage pipeline
@@ -240,7 +261,7 @@ func (e *Engine) runSources(ctx context.Context, sources []NamedSource) (*MultiR
 			}
 			src := s.Src
 			if pace {
-				src = &pacedSource{src: src, clock: clock, idx: i, tick: window / 8}
+				src = newPacedSource(src, clock, i, window/8)
 			}
 			var out vantageOut
 			if sub.cfg.Shards <= 1 {

@@ -1,0 +1,236 @@
+package core
+
+// Bounded lock-free SPSC rings: the dispatcher→shard hand-off. Each shard
+// owns one ring whose slots carry pre-parsed entry batches plus a payload
+// arena. All slot storage is allocated once when the ring is built and
+// recycled in place forever after — no sync.Pool round-trips, no per-batch
+// reallocation, so a steady packet rate moves zero bytes through the
+// allocator on the dispatch path (the PR 2 batched-channel design paid ~4×
+// byte amplification exactly here).
+//
+// The synchronization is the classic single-producer/single-consumer ring:
+// a head index advanced only by the producer and a tail index advanced
+// only by the consumer, each on its own cache line so the two sides never
+// false-share. Both sides spin briefly (yielding to the scheduler, which
+// on a saturated machine is the fast path) and then park on a buffered
+// wake channel, with the usual set-flag/recheck/sleep protocol so a wake
+// is never lost.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/layers"
+)
+
+// Entry kinds carried by ring slots.
+const (
+	entryFlow  uint8 = iota // pre-routed flow packet
+	entryDNS                // UDP/53 payload
+	entrySweep              // idle-sweep marker (broadcast)
+)
+
+// shardEntry is one pre-parsed unit of shard work. The dispatcher has
+// already parsed the frame, extracted and oriented the flow key, and
+// decided the direction, so the shard touches only its own flow table and
+// resolver — no re-parse, no re-orient.
+type shardEntry struct {
+	at  time.Duration
+	key flows.Key // entryFlow: oriented flow key; entryDNS: ClientIP holds the attribution client (packet DstIP)
+	// payOff/payLen locate the payload copy in the slot arena.
+	payOff, payLen uint32
+	kind           uint8
+	c2s            bool // entryFlow: packet direction under key's orientation
+	tcp            bool // entryFlow: transport is TCP
+	flags          layers.TCPFlags
+}
+
+// ringSlot is one batch in flight: entries plus the arena holding their
+// payload copies. Capacity is fixed at ring construction; buf may grow
+// once to fit an oversized payload and then stays at that size.
+type ringSlot struct {
+	entries []shardEntry
+	buf     []byte
+}
+
+// payload returns e's payload bytes inside s, nil when empty.
+func (s *ringSlot) payload(e *shardEntry) []byte {
+	if e.payLen == 0 {
+		return nil
+	}
+	return s.buf[e.payOff : e.payOff+e.payLen]
+}
+
+// Spin budgets before parking. Each spin is a runtime.Gosched, which on a
+// busy box hands the quantum straight to the peer goroutine — usually all
+// that is needed. Parking beyond that keeps an idle ring from burning a
+// core (a vantage stalled on the merge clock, a consumer waiting at EOF).
+const (
+	ringProducerSpins = 64
+	ringConsumerSpins = 64
+)
+
+// cacheLinePad separates the producer- and consumer-owned indices so the
+// two sides never invalidate each other's cache line.
+type cacheLinePad [64]byte
+
+// spscRing is the bounded single-producer/single-consumer slot ring.
+// Exactly one goroutine may call producer methods (slot, publish, close)
+// and exactly one may call consumer methods (consume, release).
+type spscRing struct {
+	slots []ringSlot
+	mask  uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // slots published; advanced only by the producer
+	_    cacheLinePad
+	tail atomic.Uint64 // slots released; advanced only by the consumer
+	_    cacheLinePad
+
+	closed     atomic.Bool
+	prodParked atomic.Bool
+	consParked atomic.Bool
+	prodWake   chan struct{}
+	consWake   chan struct{}
+
+	// acquired tracks whether the producer's current fill slot has been
+	// claimed (waited free and reset). batch/bufCap size slot storage on
+	// first use. Producer-only state.
+	acquired bool
+	batch    int
+	bufCap   int
+}
+
+// newRing builds a ring of `depth` slots (rounded up to a power of two),
+// each holding up to batch entries and an arena of bufCap payload bytes.
+// Slot storage is allocated on a slot's first use — a short trace that
+// never wraps the ring only pays for the slots it touches — and recycled
+// in place forever after.
+func newRing(depth, batch, bufCap int) *spscRing {
+	if depth < 2 {
+		depth = 2
+	}
+	size := 1
+	for size < depth {
+		size <<= 1
+	}
+	return &spscRing{
+		slots:    make([]ringSlot, size),
+		mask:     uint64(size - 1),
+		batch:    batch,
+		bufCap:   bufCap,
+		prodWake: make(chan struct{}, 1),
+		consWake: make(chan struct{}, 1),
+	}
+}
+
+// slot returns the producer's current fill slot, blocking until the
+// consumer has freed it on wraparound. The slot is reset on first use
+// after acquisition.
+func (r *spscRing) slot() *ringSlot {
+	h := r.head.Load()
+	if !r.acquired {
+		size := uint64(len(r.slots))
+		for spins := 0; h-r.tail.Load() >= size; {
+			if spins < ringProducerSpins {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			r.prodParked.Store(true)
+			if h-r.tail.Load() < size {
+				r.prodParked.Store(false)
+				break
+			}
+			<-r.prodWake
+			r.prodParked.Store(false)
+			spins = 0
+		}
+		s := &r.slots[h&r.mask]
+		if s.entries == nil {
+			s.entries = make([]shardEntry, 0, r.batch)
+			s.buf = make([]byte, 0, r.bufCap)
+		}
+		s.entries = s.entries[:0]
+		s.buf = s.buf[:0]
+		r.acquired = true
+	}
+	return &r.slots[h&r.mask]
+}
+
+// publish hands the current fill slot to the consumer. A no-op when the
+// slot is empty or unacquired.
+func (r *spscRing) publish() {
+	if !r.acquired {
+		return
+	}
+	if len(r.slots[r.head.Load()&r.mask].entries) == 0 {
+		return
+	}
+	r.acquired = false
+	r.head.Add(1)
+	r.wakeConsumer()
+}
+
+// close marks the stream finished (after a final publish) and wakes the
+// consumer so it can observe the close. Producer side only.
+func (r *spscRing) close() {
+	r.closed.Store(true)
+	r.wakeConsumer()
+}
+
+func (r *spscRing) wakeConsumer() {
+	if r.consParked.Load() {
+		select {
+		case r.consWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// consume returns the next published slot, blocking until one is
+// available. It returns ok=false once the ring is closed and drained.
+// The slot stays valid until release.
+func (r *spscRing) consume() (*ringSlot, bool) {
+	t := r.tail.Load()
+	for spins := 0; ; {
+		if r.head.Load() > t {
+			return &r.slots[t&r.mask], true
+		}
+		if r.closed.Load() {
+			// Re-check after observing the close: the producer's final
+			// publish happens before close, but our first head load may
+			// predate it.
+			if r.head.Load() > t {
+				return &r.slots[t&r.mask], true
+			}
+			return nil, false
+		}
+		if spins < ringConsumerSpins {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		r.consParked.Store(true)
+		if r.head.Load() > t || r.closed.Load() {
+			r.consParked.Store(false)
+			continue
+		}
+		<-r.consWake
+		r.consParked.Store(false)
+		spins = 0
+	}
+}
+
+// release returns the consumed slot to the producer.
+func (r *spscRing) release() {
+	r.tail.Add(1)
+	if r.prodParked.Load() {
+		select {
+		case r.prodWake <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/synth"
+)
+
+// fillEntries publishes count sequence-numbered entries through r in slots
+// of the ring's batch size, using the `at` field as the sequence number.
+func fillEntries(r *spscRing, count, batch int) {
+	for seq := 0; seq < count; {
+		s := r.slot()
+		for len(s.entries) < batch && seq < count {
+			e := shardEntry{at: time.Duration(seq), kind: entryFlow}
+			p := []byte(fmt.Sprintf("p%d", seq))
+			e.payOff = uint32(len(s.buf))
+			e.payLen = uint32(len(p))
+			s.buf = append(s.buf, p...)
+			s.entries = append(s.entries, e)
+			seq++
+		}
+		r.publish()
+	}
+	r.close()
+}
+
+// drainEntries consumes everything from r, verifying FIFO order and
+// payload integrity, and returns the number of entries seen.
+func drainEntries(t *testing.T, r *spscRing) int {
+	t.Helper()
+	seq := 0
+	for {
+		s, ok := r.consume()
+		if !ok {
+			return seq
+		}
+		for i := range s.entries {
+			e := &s.entries[i]
+			if got, want := int(e.at), seq; got != want {
+				t.Fatalf("entry %d: sequence %d out of order", want, got)
+			}
+			if got, want := string(s.payload(e)), fmt.Sprintf("p%d", seq); got != want {
+				t.Fatalf("entry %d: payload %q, want %q", seq, got, want)
+			}
+			seq++
+		}
+		r.release()
+	}
+}
+
+// TestRingWraparound pushes far more slots than the ring holds, so head
+// and tail wrap the index space repeatedly; full and empty transitions are
+// exercised at every boundary because producer and consumer alternate.
+func TestRingWraparound(t *testing.T) {
+	const batch = 3
+	r := newRing(4, batch, 64)
+	depth := len(r.slots)
+	const rounds = 10
+	total := depth * rounds * batch
+
+	done := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			s, ok := r.consume()
+			if !ok {
+				done <- n
+				return
+			}
+			for i := range s.entries {
+				e := &s.entries[i]
+				if int(e.at) != n {
+					t.Errorf("entry %d: sequence %d out of order", n, int(e.at))
+				}
+				if got, want := string(s.payload(e)), fmt.Sprintf("p%d", n); got != want {
+					t.Errorf("entry %d: payload %q, want %q", n, got, want)
+				}
+				n++
+			}
+			r.release()
+		}
+	}()
+	fillEntries(r, total, batch)
+	if got := <-done; got != total {
+		t.Fatalf("consumed %d entries, want %d", got, total)
+	}
+}
+
+// TestRingBackpressure parks the producer on a full ring: the consumer
+// releases slots only after a delay, so the producer must block (not drop,
+// not overwrite) until wraparound space frees up.
+func TestRingBackpressure(t *testing.T) {
+	const batch = 4
+	r := newRing(2, batch, 64)
+	total := len(r.slots) * batch * 8
+
+	produced := make(chan struct{})
+	go func() {
+		fillEntries(r, total, batch)
+		close(produced)
+	}()
+	// Give the producer time to hit the full ring and park.
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-produced:
+		t.Fatal("producer finished before consumer freed any slot; ring not bounded")
+	default:
+	}
+	if got := drainEntries(t, r); got != total {
+		t.Fatalf("consumed %d entries, want %d", got, total)
+	}
+	<-produced
+}
+
+// TestRingCloseDrainsPartial publishes a final partial slot before close;
+// the consumer must see every entry, then observe the close.
+func TestRingCloseDrainsPartial(t *testing.T) {
+	const batch = 8
+	r := newRing(4, batch, 64)
+	const total = batch*2 + 3 // last slot deliberately partial
+	go fillEntries(r, total, batch)
+	if got := drainEntries(t, r); got != total {
+		t.Fatalf("consumed %d entries, want %d", got, total)
+	}
+}
+
+// TestRingCloseEmpty closes a ring that never published; the consumer must
+// return immediately with ok=false even from a parked wait.
+func TestRingCloseEmpty(t *testing.T) {
+	r := newRing(2, 4, 16)
+	go func() {
+		time.Sleep(5 * time.Millisecond) // let the consumer park first
+		r.close()
+	}()
+	if _, ok := r.consume(); ok {
+		t.Fatal("consume returned a slot from an empty closed ring")
+	}
+}
+
+// TestRingConcurrentStress runs a producer and consumer flat out under the
+// race detector: the SPSC protocol's only synchronization is the pair of
+// atomic indices, so any missing happens-before edge shows up here.
+func TestRingConcurrentStress(t *testing.T) {
+	const batch = 16
+	r := newRing(8, batch, 256)
+	const total = 100_000
+	go fillEntries(r, total, batch)
+	if got := drainEntries(t, r); got != total {
+		t.Fatalf("consumed %d entries, want %d", got, total)
+	}
+}
+
+// TestRingArenaOverflowGrows feeds a payload larger than the slot arena:
+// the slot must grow (entries keep valid offsets) rather than truncate.
+func TestRingArenaOverflowGrows(t *testing.T) {
+	r := newRing(2, 4, 8) // 8-byte arena
+	big := make([]byte, 100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	s := r.slot()
+	e := shardEntry{kind: entryFlow, payOff: uint32(len(s.buf)), payLen: uint32(len(big))}
+	s.buf = append(s.buf, big...)
+	s.entries = append(s.entries, e)
+	r.publish()
+	r.close()
+
+	got, ok := r.consume()
+	if !ok {
+		t.Fatal("no slot")
+	}
+	p := got.payload(&got.entries[0])
+	if len(p) != len(big) {
+		t.Fatalf("payload length %d, want %d", len(p), len(big))
+	}
+	for i := range p {
+		if p[i] != big[i] {
+			t.Fatalf("payload byte %d corrupted", i)
+		}
+	}
+	r.release()
+}
+
+// TestEngineShardEquivalenceBatchBoundaries sweeps the hand-off batch size
+// across the boundaries where slot-full flushes and ring wraparound kick
+// in — 1 (every entry publishes), capacity−1, capacity, capacity+1 around
+// a mid-size slot — and checks exact equivalence against shards=1 at each.
+func TestEngineShardEquivalenceBatchBoundaries(t *testing.T) {
+	tr := synth.Generate(synth.NamedScenario(synth.NameEU1FTTH, 0.1, 9))
+	single := runEngine(t, tr, 1)
+	want := flowMultiset(single.DB)
+
+	const slotCap = 64
+	for _, batch := range []int{1, slotCap - 1, slotCap, slotCap + 1} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			eng := NewEngine(EngineConfig{Shards: 3, Batch: batch, Truth: tr.TruthFunc()})
+			res, err := eng.Run(t.Context(), tr.Source())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats != single.Stats {
+				t.Errorf("stats diverge:\n single %+v\n sharded %+v", single.Stats, res.Stats)
+			}
+			diffMultisets(t, want, flowMultiset(res.DB), fmt.Sprintf("batch=%d", batch))
+		})
+	}
+}
+
+// FuzzShardBatchEquivalence fuzzes the (seed, shards, batch) space: any
+// combination must reproduce the single-shard flow multiset and stats
+// exactly. Seeds cover the batch boundaries around the default slot
+// capacity and degenerate single-entry slots.
+func FuzzShardBatchEquivalence(f *testing.F) {
+	f.Add(uint64(7), 2, 1)
+	f.Add(uint64(7), 3, defaultBatch-1)
+	f.Add(uint64(7), 3, defaultBatch)
+	f.Add(uint64(7), 3, defaultBatch+1)
+	f.Add(uint64(21), 8, 5)
+	f.Fuzz(func(t *testing.T, seed uint64, shards, batch int) {
+		if shards < 2 || shards > 16 || batch < 1 || batch > 4*defaultBatch {
+			t.Skip()
+		}
+		tr := synth.Generate(synth.QuickScenario(seed))
+		single := runEngine(t, tr, 1)
+		eng := NewEngine(EngineConfig{Shards: shards, Batch: batch, Truth: tr.TruthFunc()})
+		res, err := eng.Run(t.Context(), tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats != single.Stats {
+			t.Errorf("shards=%d batch=%d stats diverge:\n single %+v\n sharded %+v",
+				shards, batch, single.Stats, res.Stats)
+		}
+		diffMultisets(t, flowMultiset(single.DB), flowMultiset(res.DB),
+			fmt.Sprintf("seed=%d shards=%d batch=%d", seed, shards, batch))
+	})
+}

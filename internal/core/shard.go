@@ -1,11 +1,13 @@
 package core
 
-// Sharded execution (Shards > 1): a single dispatcher goroutine parses
-// frames and hashes them by client address onto per-shard workers, each
-// running its own single-threaded DNHunter (resolver Clist, flow table,
-// pending-tag map). The paper suggests exactly this partitioning for
-// parallel deployments (§3.1.1): all state is keyed by client, so clients
-// can be split across independent pipelines with no shared mutable state.
+// Sharded execution (Shards > 1): a single dispatcher goroutine block-reads
+// frames, parses them, extracts and orients the flow key, and hands each
+// shard pre-framed (key, direction, flags, payload) entries over a bounded
+// lock-free SPSC ring (see ring.go). Each shard runs its own
+// single-threaded DNHunter (resolver Clist, flow table, pending-tag map).
+// The paper suggests exactly this partitioning for parallel deployments
+// (§3.1.1): all state is keyed by client, so clients can be split across
+// independent pipelines with no shared mutable state.
 //
 // Equivalence with the single-threaded pipeline is exact, not approximate,
 // because the dispatcher mirrors every piece of global state that decides
@@ -15,7 +17,9 @@ package core
 //     key set and applies the table's own orientation rules (existing entry
 //     wins, then SYN, then client networks, then first-sender), so each
 //     packet is routed to the shard of the flow's eventual client — where
-//     that client's resolver entries live.
+//     that client's resolver entries live. The oriented key and direction
+//     travel with the entry, so shard tables skip orient entirely
+//     (flows.AddOriented).
 //   - Flow lifetime. The replica removes entries on the same transitions
 //     the table does (RST, second FIN), so a reused 5-tuple re-orients at
 //     the same packet in both modes.
@@ -46,60 +50,55 @@ import (
 	"repro/internal/netio"
 )
 
-// defaultBatch is the dispatcher→shard hand-off granularity. Large enough
-// to amortize channel overhead, small enough to keep shards busy on short
-// traces.
+// defaultBatch is the dispatcher→shard hand-off granularity (entries per
+// ring slot). Large enough to amortize the publish/consume hand-off, small
+// enough to keep shards busy on short traces.
 const defaultBatch = 512
 
-// shardItem is one unit of shard work: a decoded packet or a sweep marker.
-type shardItem struct {
-	at    time.Duration
-	sweep bool
-	dec   layers.Decoded
-	// payOff/payLen locate the copied payload in the batch buffer; the
-	// dec.Payload slice is fixed up at flush time because the buffer may
-	// reallocate while the batch fills.
-	payOff, payLen int
-}
+// ringDepth is the number of slots per shard ring: enough in-flight
+// batches that a briefly stalled shard does not back-pressure the
+// dispatcher, few enough that total slab memory stays modest.
+const ringDepth = 8
 
-// shardBatch carries items plus the arena holding their payload copies.
-// Batches cycle through a pool: dispatcher fills → worker drains → pool.
-type shardBatch struct {
-	items []shardItem
-	buf   []byte
-}
+// slotBufPerEntry sizes each slot's payload arena (batch × this many
+// bytes). A slot publishes early rather than outgrow its arena, so slot
+// storage is allocated once; only a single payload larger than the whole
+// arena forces a (one-time, kept) growth.
+const slotBufPerEntry = 128
 
-// reset empties the batch for reuse, keeping both backing arrays.
-func (b *shardBatch) reset() {
-	b.items = b.items[:0]
-	b.buf = b.buf[:0]
-}
+// blockLen is how many packets the reader stage requests per ReadBlock.
+const blockLen = 256
 
 // shardWorker owns one pipeline shard.
 type shardWorker struct {
 	h    *DNHunter
-	ch   chan *shardBatch
-	pool *sync.Pool
+	ring *spscRing
 }
 
-// run drains batches until the channel closes, then flushes the shard's
-// flow table. When abort is set (cancellation) it keeps draining so the
-// dispatcher never blocks, but stops processing.
+// run drains ring slots until the ring closes, then flushes the shard's
+// flow table. When abort is set (cancellation) it keeps consuming so the
+// dispatcher never blocks on a full ring, but stops processing.
 func (w *shardWorker) run(wg *sync.WaitGroup, abort *atomic.Bool) {
 	defer wg.Done()
-	for b := range w.ch {
+	for {
+		s, ok := w.ring.consume()
+		if !ok {
+			break
+		}
 		if !abort.Load() {
-			for i := range b.items {
-				it := &b.items[i]
-				if it.sweep {
-					w.h.sweepIdle(it.at)
-					continue
+			for i := range s.entries {
+				e := &s.entries[i]
+				switch e.kind {
+				case entryFlow:
+					w.h.handleOrientedFlow(e, s.payload(e))
+				case entryDNS:
+					w.h.handleDNSPayload(e.key.ClientIP, s.payload(e), e.at)
+				case entrySweep:
+					w.h.sweepIdle(e.at)
 				}
-				w.h.handleParsed(&it.dec, it.at)
 			}
 		}
-		b.reset()
-		w.pool.Put(b)
+		w.ring.release()
 	}
 	if !abort.Load() {
 		w.h.Close()
@@ -118,9 +117,9 @@ type dispEntry struct {
 type dispatcher struct {
 	workers []*shardWorker
 	parser  layers.Parser
-	out     []*shardBatch
-	pool    *sync.Pool
+	rings   []*spscRing
 	batch   int
+	bufMax  int
 
 	entries    map[flows.Key]*dispEntry
 	clientNets []netip.Prefix
@@ -136,9 +135,7 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	n := e.cfg.Shards
 	sink := SyncSink(e.cfg.Sink)
 
-	pool := &sync.Pool{New: func() any {
-		return &shardBatch{items: make([]shardItem, 0, e.cfg.Batch)}
-	}}
+	bufCap := e.cfg.Batch * slotBufPerEntry
 	workers := make([]*shardWorker, n)
 	for i := range workers {
 		fcfg := e.cfg.Flows
@@ -151,8 +148,7 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 				Truth:    e.cfg.Truth,
 				Vantage:  e.cfg.Vantage,
 			}, sink)),
-			ch:   make(chan *shardBatch, 4),
-			pool: pool,
+			ring: newRing(ringDepth, e.cfg.Batch, bufCap),
 		}
 	}
 	var (
@@ -170,51 +166,55 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	}
 	d := &dispatcher{
 		workers:    workers,
-		out:        make([]*shardBatch, n),
-		pool:       pool,
+		rings:      make([]*spscRing, n),
 		batch:      e.cfg.Batch,
+		bufMax:     bufCap,
 		entries:    make(map[flows.Key]*dispEntry),
 		clientNets: e.cfg.Flows.ClientNets,
 		idle:       idle,
 	}
-	for i := range d.out {
-		d.out[i] = pool.Get().(*shardBatch)
+	for i, w := range workers {
+		d.rings[i] = w.ring
 	}
 
 	var runErr error
 	done := ctx.Done()
-	for i := 0; ; i++ {
-		if i&(ctxCheckEvery-1) == 0 {
-			if i&(yieldEvery-1) == 0 {
-				runtime.Gosched() // see yieldEvery
-			}
-			select {
-			case <-done:
-				runErr = ctx.Err()
-			default:
-			}
-			if runErr != nil {
-				break
-			}
+	block := make([]netio.Packet, blockLen)
+	fetch := newBlockFetcher(src)
+	for processed := 0; ; {
+		if processed&^(yieldEvery-1) != 0 {
+			processed &= yieldEvery - 1
+			runtime.Gosched() // see yieldEvery
 		}
-		pkt, err := src.Next()
+		select {
+		case <-done:
+			runErr = ctx.Err()
+		default:
+		}
+		if runErr != nil {
+			break
+		}
+		bn, err := fetch.read(block)
+		for i := 0; i < bn; i++ {
+			d.dispatch(block[i])
+		}
+		processed += bn
 		if err != nil {
 			if err != io.EOF {
 				runErr = fmt.Errorf("core: packet source: %w", err)
 			}
 			break
 		}
-		d.dispatch(pkt)
 	}
 	if runErr != nil {
 		abort.Store(true)
 	} else {
-		for sh := range d.out {
-			d.flush(sh)
+		for _, r := range d.rings {
+			r.publish() // final partial slots
 		}
 	}
-	for _, w := range workers {
-		close(w.ch)
+	for _, r := range d.rings {
+		r.close()
 	}
 	wg.Wait()
 	if runErr != nil {
@@ -269,13 +269,25 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 		if len(dec.Payload) >= 3 && dec.Payload[2]&0x80 != 0 {
 			client = dec.DstIP
 		}
-		d.enqueue(d.shardOf(client), dec, at)
+		d.enqueue(d.shardOf(client), shardEntry{
+			at:   at,
+			kind: entryDNS,
+			key:  flows.Key{ClientIP: dec.DstIP},
+		}, dec.Payload)
 		return
 	}
 	if !dec.HasTCP && !dec.HasUDP {
 		return // the flow table ignores these; don't ship them
 	}
-	d.enqueue(d.routeFlow(dec, at), dec, at)
+	key, c2s, sh := d.routeFlow(dec, at)
+	d.enqueue(sh, shardEntry{
+		at:    at,
+		kind:  entryFlow,
+		key:   key,
+		c2s:   c2s,
+		tcp:   dec.HasTCP,
+		flags: dec.TCPFlags,
+	}, dec.Payload)
 	// Amortized sweep, after the packet, at the same trace times a
 	// single-threaded table would sweep inside Add.
 	if at-d.sweepMark >= d.idle {
@@ -285,18 +297,23 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 }
 
 // routeFlow mirrors flows.Table.orient plus the table's entry lifecycle,
-// returning the shard owning the packet's flow.
-func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) int {
+// returning the canonical flow key, the packet's direction under it, and
+// the shard owning the flow. The key/direction pair is exactly what the
+// shard's table would compute, so it ships with the entry and the table's
+// orient step runs once, here.
+func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) (flows.Key, bool, int) {
 	key := flows.Key{
 		ClientIP: dec.SrcIP, ServerIP: dec.DstIP,
 		ClientPort: dec.SrcPort, ServerPort: dec.DstPort,
 		Proto: dec.Proto,
 	}
+	c2s := true
 	e, ok := d.entries[key]
 	if !ok {
 		rev := key.Reverse()
 		if e, ok = d.entries[rev]; ok {
 			key = rev
+			c2s = false
 		}
 	}
 	if !ok {
@@ -308,6 +325,7 @@ func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) int {
 			dst := containsAddr(d.clientNets, dec.DstIP)
 			if dst && !src {
 				key = key.Reverse()
+				c2s = false
 			}
 		}
 		e = d.newEntry(d.shardOf(key.ClientIP))
@@ -328,7 +346,7 @@ func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) int {
 			}
 		}
 	}
-	return e.shard
+	return key, c2s, e.shard
 }
 
 // newEntry takes a replica entry from the free list or allocates one.
@@ -357,53 +375,41 @@ func containsAddr(nets []netip.Prefix, a netip.Addr) bool {
 	return false
 }
 
-// enqueue copies the decoded packet into the shard's pending batch. The
-// payload is copied into the batch arena because the parser (and pcap
-// reader beneath it) reuse their buffers on the next packet.
-func (d *dispatcher) enqueue(sh int, dec *layers.Decoded, at time.Duration) {
-	b := d.out[sh]
-	it := shardItem{at: at, dec: *dec}
-	it.dec.Payload = nil
-	if len(dec.Payload) > 0 {
-		it.payOff = len(b.buf)
-		it.payLen = len(dec.Payload)
-		b.buf = append(b.buf, dec.Payload...)
+// enqueue appends an entry (copying its payload into the slot arena — the
+// parser and block reader beneath it reuse their buffers) to the shard's
+// current ring slot, publishing when the slot fills. Publishing may block
+// on ring wraparound: that is the back-pressure that bounds dispatcher
+// run-ahead.
+func (d *dispatcher) enqueue(sh int, e shardEntry, payload []byte) {
+	r := d.rings[sh]
+	s := r.slot()
+	if len(payload) > 0 {
+		// Publish before an append that would outgrow the arena, so slot
+		// storage really is allocated once (a single payload larger than
+		// the whole arena still has to grow it — once, kept thereafter).
+		if len(s.buf)+len(payload) > d.bufMax && len(s.entries) > 0 {
+			r.publish()
+			s = r.slot()
+		}
+		e.payOff = uint32(len(s.buf))
+		e.payLen = uint32(len(payload))
+		s.buf = append(s.buf, payload...)
 	}
-	b.items = append(b.items, it)
-	if len(b.items) >= d.batch {
-		d.flush(sh)
+	s.entries = append(s.entries, e)
+	if len(s.entries) >= d.batch {
+		r.publish()
 	}
 }
 
 // broadcastSweep appends an in-band sweep marker to every shard's stream
 // and expires the dispatcher's own flow replica with the table's rule.
 func (d *dispatcher) broadcastSweep(now time.Duration) {
-	for sh := range d.out {
-		d.out[sh].items = append(d.out[sh].items, shardItem{at: now, sweep: true})
-		if len(d.out[sh].items) >= d.batch {
-			d.flush(sh)
-		}
+	for sh := range d.rings {
+		d.enqueue(sh, shardEntry{at: now, kind: entrySweep}, nil)
 	}
 	for key, e := range d.entries {
 		if now-e.end >= d.idle {
 			d.dropEntry(key, e)
 		}
 	}
-}
-
-// flush fixes up payload slices and hands the batch to the shard, taking a
-// recycled batch from the pool for the next fill.
-func (d *dispatcher) flush(sh int) {
-	b := d.out[sh]
-	if len(b.items) == 0 {
-		return
-	}
-	for i := range b.items {
-		it := &b.items[i]
-		if it.payLen > 0 {
-			it.dec.Payload = b.buf[it.payOff : it.payOff+it.payLen]
-		}
-	}
-	d.workers[sh].ch <- b
-	d.out[sh] = d.pool.Get().(*shardBatch)
 }

@@ -233,16 +233,44 @@ func (t *Table) Add(d *layers.Decoded, at time.Duration, onNew NewFlowFunc) {
 	if !d.HasTCP && !d.HasUDP {
 		return
 	}
-	t.stats.Packets++
 	key, c2s := t.orient(d)
+	t.addOriented(key, c2s, d.HasTCP, d.TCPFlags, d.Payload, at, onNew)
+}
+
+// OrientedPacket is one pre-routed packet: the sharded dispatcher extracts
+// the flow key and direction once at the reader stage, so shard tables
+// skip orient's map probes entirely.
+type OrientedPacket struct {
+	// Key is the canonical client→server flow key. It MUST be exactly the
+	// key orient would compute against this table's current entries; the
+	// dispatcher guarantees that by mirroring the table's entry lifecycle.
+	Key Key
+	// C2S reports whether the packet travels client→server under Key.
+	C2S bool
+	// TCP reports a TCP segment (false: UDP datagram).
+	TCP     bool
+	Flags   layers.TCPFlags
+	Payload []byte
+}
+
+// AddOriented processes one pre-routed packet. It is Add with the orient
+// step hoisted to the caller; the two are behaviorally identical when the
+// caller's key/direction mirror orient's decision.
+func (t *Table) AddOriented(p *OrientedPacket, at time.Duration, onNew NewFlowFunc) {
+	t.addOriented(p.Key, p.C2S, p.TCP, p.Flags, p.Payload, at, onNew)
+}
+
+// addOriented is the shared post-orientation half of Add.
+func (t *Table) addOriented(key Key, c2s, hasTCP bool, flags layers.TCPFlags, payload []byte, at time.Duration, onNew NewFlowFunc) {
+	t.stats.Packets++
 	f, ok := t.flows[key]
 	if !ok {
 		f = t.newFlow()
 		f.rec = Record{Key: key, Start: at, End: at}
-		if d.HasTCP && d.TCPFlags.Has(layers.TCPSyn) && !d.TCPFlags.Has(layers.TCPAck) {
+		if hasTCP && flags.Has(layers.TCPSyn) && !flags.Has(layers.TCPAck) {
 			f.rec.SawSYN = true
 			f.rec.State = StateSynSent
-		} else if d.HasTCP {
+		} else if hasTCP {
 			f.rec.State = StateEstablished // midstream pickup
 		}
 		t.flows[key] = f
@@ -254,16 +282,16 @@ func (t *Table) Add(d *layers.Decoded, at time.Duration, onNew NewFlowFunc) {
 	f.rec.End = at
 	if c2s {
 		f.rec.PktsC2S++
-		f.rec.BytesC2S += uint64(len(d.Payload))
+		f.rec.BytesC2S += uint64(len(payload))
 	} else {
 		f.rec.PktsS2C++
-		f.rec.BytesS2C += uint64(len(d.Payload))
+		f.rec.BytesS2C += uint64(len(payload))
 	}
-	if len(d.Payload) > 0 {
-		t.capture(f, d.Payload, c2s)
+	if len(payload) > 0 {
+		t.capture(f, payload, c2s)
 	}
-	if d.HasTCP {
-		t.advanceTCP(f, d, key, at)
+	if hasTCP {
+		t.advanceTCP(f, flags, key, at)
 	}
 	// Amortized idle sweep every IdleTimeout of trace time.
 	if !t.cfg.DisableAutoSweep && at-t.sweep >= t.cfg.IdleTimeout {
@@ -291,19 +319,19 @@ func (t *Table) capture(f *flow, payload []byte, c2s bool) {
 	t.classify(f)
 }
 
-func (t *Table) advanceTCP(f *flow, d *layers.Decoded, key Key, at time.Duration) {
+func (t *Table) advanceTCP(f *flow, flags layers.TCPFlags, key Key, at time.Duration) {
 	switch {
-	case d.TCPFlags.Has(layers.TCPRst):
+	case flags.Has(layers.TCPRst):
 		f.rec.State = StateReset
 		t.finish(key, f)
-	case d.TCPFlags.Has(layers.TCPFin):
+	case flags.Has(layers.TCPFin):
 		if f.rec.State == StateClosing {
 			f.rec.State = StateClosed
 			t.finish(key, f)
 		} else if f.rec.State != StateClosed {
 			f.rec.State = StateClosing
 		}
-	case d.TCPFlags.Has(layers.TCPSyn) && d.TCPFlags.Has(layers.TCPAck):
+	case flags.Has(layers.TCPSyn) && flags.Has(layers.TCPAck):
 		if f.rec.State == StateSynSent {
 			f.rec.State = StateEstablished
 		}

@@ -29,6 +29,18 @@ type PacketSource interface {
 	Next() (Packet, error)
 }
 
+// BlockSource is the optional bulk extension of PacketSource: ReadBlock
+// frames up to len(dst) packets in one call, so a reader stage pays the
+// per-call overhead (interface dispatch, header decode setup, buffered-IO
+// bookkeeping) once per block instead of once per packet. It returns the
+// number of packets framed; dst[:n] is valid even when err is non-nil
+// (io.EOF after the final partial block, a decode error mid-block). All
+// Data slices alias storage owned by the source, valid only until the next
+// ReadBlock or Next call.
+type BlockSource interface {
+	ReadBlock(dst []Packet) (n int, err error)
+}
+
 // Classic pcap constants (little-endian variant written by this package).
 const (
 	pcapMagicLE     = 0xa1b2c3d4 // microsecond timestamps, writer-native order
@@ -120,6 +132,11 @@ type Reader struct {
 	epoch  int64 // first packet's absolute seconds, so Timestamp is an offset
 	hasT0  bool
 	t0frac int64
+	// block is the ReadBlock arena: every frame of one block back to back.
+	// offs records each frame's (offset, length) pair so Data slices can be
+	// fixed up after the arena stops growing.
+	block []byte
+	offs  []uint32
 }
 
 // NewReader parses the global header of a pcap stream.
@@ -154,21 +171,40 @@ func NewReader(r io.Reader) (*Reader, error) {
 // SnapLen returns the capture snapshot length from the file header.
 func (r *Reader) SnapLen() uint32 { return r.snap }
 
-// Next returns the next packet. Data aliases an internal buffer valid until
-// the following call.
-func (r *Reader) Next() (Packet, error) {
+// readRecordHeader reads and validates one 16-byte record header,
+// returning the packet timestamp (relative to the trace epoch) and the
+// captured length. err == io.EOF marks a clean end of stream.
+func (r *Reader) readRecordHeader() (ts time.Duration, incl uint32, err error) {
 	var rec [16]byte
 	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
 		if err == io.EOF {
-			return Packet{}, io.EOF
+			return 0, 0, io.EOF
 		}
-		return Packet{}, fmt.Errorf("netio: reading record header: %w", err)
+		return 0, 0, fmt.Errorf("netio: reading record header: %w", err)
 	}
 	sec := int64(r.order.Uint32(rec[0:4]))
 	frac := int64(r.order.Uint32(rec[4:8]))
-	incl := r.order.Uint32(rec[8:12])
+	incl = r.order.Uint32(rec[8:12])
 	if incl > r.snap+65536 {
-		return Packet{}, fmt.Errorf("netio: implausible record length %d", incl)
+		return 0, 0, fmt.Errorf("netio: implausible record length %d", incl)
+	}
+	if !r.hasT0 {
+		r.epoch, r.t0frac, r.hasT0 = sec, frac, true
+	}
+	if r.nanos {
+		ts = time.Duration(sec-r.epoch)*time.Second + time.Duration(frac-r.t0frac)*time.Nanosecond
+	} else {
+		ts = time.Duration(sec-r.epoch)*time.Second + time.Duration(frac-r.t0frac)*time.Microsecond
+	}
+	return ts, incl, nil
+}
+
+// Next returns the next packet. Data aliases an internal buffer valid until
+// the following call.
+func (r *Reader) Next() (Packet, error) {
+	ts, incl, err := r.readRecordHeader()
+	if err != nil {
+		return Packet{}, err
 	}
 	if cap(r.buf) < int(incl) {
 		r.buf = make([]byte, incl)
@@ -177,16 +213,50 @@ func (r *Reader) Next() (Packet, error) {
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
 		return Packet{}, fmt.Errorf("netio: reading record body: %w", err)
 	}
-	if !r.hasT0 {
-		r.epoch, r.t0frac, r.hasT0 = sec, frac, true
-	}
-	var ts time.Duration
-	if r.nanos {
-		ts = time.Duration(sec-r.epoch)*time.Second + time.Duration(frac-r.t0frac)*time.Nanosecond
-	} else {
-		ts = time.Duration(sec-r.epoch)*time.Second + time.Duration(frac-r.t0frac)*time.Microsecond
-	}
 	return Packet{Timestamp: ts, Data: r.buf}, nil
+}
+
+// ReadBlock implements BlockSource: it frames up to len(dst) packets into
+// one reusable arena, so the per-packet cost of the reader stage collapses
+// to a header decode and a copy. dst[:n] stays valid until the next
+// ReadBlock or Next call.
+func (r *Reader) ReadBlock(dst []Packet) (int, error) {
+	r.block = r.block[:0]
+	r.offs = r.offs[:0]
+	n := 0
+	for n < len(dst) {
+		ts, incl, err := r.readRecordHeader()
+		if err != nil {
+			r.fixupBlock(dst, n)
+			return n, err
+		}
+		off := len(r.block)
+		need := off + int(incl)
+		if cap(r.block) < need {
+			grown := make([]byte, off, max(need, 2*cap(r.block)))
+			copy(grown, r.block)
+			r.block = grown
+		}
+		r.block = r.block[:need]
+		if _, err := io.ReadFull(r.r, r.block[off:need]); err != nil {
+			r.fixupBlock(dst, n)
+			return n, fmt.Errorf("netio: reading record body: %w", err)
+		}
+		dst[n] = Packet{Timestamp: ts}
+		r.offs = append(r.offs, uint32(off), incl)
+		n++
+	}
+	r.fixupBlock(dst, n)
+	return n, nil
+}
+
+// fixupBlock points the block's Data slices into the arena once it has
+// stopped growing (growth reallocates, which would strand earlier slices).
+func (r *Reader) fixupBlock(dst []Packet, n int) {
+	for i := 0; i < n; i++ {
+		off, ln := r.offs[2*i], r.offs[2*i+1]
+		dst[i].Data = r.block[off : off+ln]
+	}
 }
 
 // SlicePacketSource replays an in-memory packet slice. It implements
@@ -211,6 +281,17 @@ func (s *SlicePacketSource) Next() (Packet, error) {
 	return p, nil
 }
 
+// ReadBlock implements BlockSource by handing out packet structs straight
+// from the backing slice — zero copy.
+func (s *SlicePacketSource) ReadBlock(dst []Packet) (int, error) {
+	n := copy(dst, s.packets[s.next:])
+	if n == 0 {
+		return 0, io.EOF
+	}
+	s.next += n
+	return n, nil
+}
+
 // Reset rewinds the source to the first packet.
 func (s *SlicePacketSource) Reset() { s.next = 0 }
 
@@ -231,4 +312,30 @@ func (c *ChanPacketSource) Next() (Packet, error) {
 		return Packet{}, io.EOF
 	}
 	return p, nil
+}
+
+// ReadBlock implements BlockSource: one blocking receive, then whatever is
+// already queued, so a fast producer amortizes channel wakeups per block.
+// Note the per-packet Data ownership is the producer's: packets from a
+// channel are not invalidated by subsequent reads.
+func (c *ChanPacketSource) ReadBlock(dst []Packet) (int, error) {
+	p, ok := <-c.C
+	if !ok {
+		return 0, io.EOF
+	}
+	dst[0] = p
+	n := 1
+	for n < len(dst) {
+		select {
+		case p, ok := <-c.C:
+			if !ok {
+				return n, io.EOF
+			}
+			dst[n] = p
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
 }
