@@ -89,6 +89,13 @@ type Result struct {
 	NsPerPkt     float64 `json:"ns_per_pkt"`
 	AllocsPerPkt float64 `json:"allocs_per_pkt"`
 	BytesPerPkt  float64 `json:"bytes_per_pkt"`
+	// HeapInuseBytes is runtime.MemStats.HeapInuse right after the best
+	// repetition: the resident working set the data structures pin, as
+	// opposed to BytesPerPkt's allocation *throughput*.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	// GCCycles is how many collections the best repetition triggered —
+	// the direct tax of allocation churn on the hot path.
+	GCCycles uint32 `json:"gc_cycles"`
 	// SpeedupVs1Shard is PktsPerSec over the shards=1 cell of the same
 	// (scenario, gomaxprocs) group; 0 when that group has no shards=1 cell.
 	SpeedupVs1Shard float64 `json:"speedup_vs_1shard,omitempty"`
@@ -184,8 +191,9 @@ func main() {
 				cell.GOMAXPROCS = eff
 				cell.Packets = packets
 				cell.TraceBytes = traceBytes
-				log.Printf("%s gomaxprocs=%d shards=%d: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt",
-					name, eff, n, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt)
+				log.Printf("%s gomaxprocs=%d shards=%d: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt, %.1f MB heap, %d GCs",
+					name, eff, n, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt,
+					float64(cell.HeapInuseBytes)/1e6, cell.GCCycles)
 				group = append(group, cell)
 			}
 			// Speedups are filled in after the group completes so the
@@ -294,12 +302,14 @@ func runCell(ctx context.Context, traces []*dnhunter.Trace, n, reps int) (Result
 		runtime.ReadMemStats(&after)
 		pkts := float64(packets)
 		cell := Result{
-			PktsPerSec:   pkts / elapsed.Seconds(),
-			NsPerPkt:     float64(elapsed.Nanoseconds()) / pkts,
-			AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / pkts,
-			BytesPerPkt:  float64(after.TotalAlloc-before.TotalAlloc) / pkts,
-			Flows:        stats.Flows,
-			DNSResponses: stats.DNSResponses,
+			PktsPerSec:     pkts / elapsed.Seconds(),
+			NsPerPkt:       float64(elapsed.Nanoseconds()) / pkts,
+			AllocsPerPkt:   float64(after.Mallocs-before.Mallocs) / pkts,
+			BytesPerPkt:    float64(after.TotalAlloc-before.TotalAlloc) / pkts,
+			HeapInuseBytes: after.HeapInuse,
+			GCCycles:       after.NumGC - before.NumGC,
+			Flows:          stats.Flows,
+			DNSResponses:   stats.DNSResponses,
 		}
 		if i == 0 || cell.NsPerPkt < best.NsPerPkt {
 			best = cell

@@ -21,10 +21,12 @@
 // overhead, and a machine with fewer CPUs than shards (meta.num_cpu) can
 // time-slice but not parallelize.
 //
-// -metric selects what to gate: "allocs", "ns", or "all" (the default).
-// Allocation counts are deterministic, so their tolerance is tight (10%);
-// wall-clock ns/op varies with the machine, so its tolerance is wider (15%)
-// and a baseline without an ns_per_op entry simply skips the ns gate for
+// -metric selects what to gate: "allocs", "ns", "bytes", or "all" (the
+// default). Allocation counts are deterministic, so their tolerance is
+// tight (10%); wall-clock ns/op varies with the machine, so its tolerance
+// is wider (15%); bytes/op (B/op) is nearly deterministic but rounds with
+// allocator size classes, so it gets the same 15% tolerance. A baseline
+// without an ns_per_op / bytes_per_op entry simply skips that gate for
 // that benchmark.
 //
 // With -count > 1 the minimum per metric across runs is compared (the
@@ -55,22 +57,26 @@ type Baseline struct {
 	TolerancePct float64 `json:"tolerance_pct"`
 	// NsTolerancePct is the allowed ns/op regression in percent (0 = 15).
 	NsTolerancePct float64 `json:"ns_tolerance_pct,omitempty"`
+	// BytesTolerancePct is the allowed bytes/op regression in percent
+	// (0 = 15).
+	BytesTolerancePct float64 `json:"bytes_tolerance_pct,omitempty"`
 	// Benchmarks maps the benchmark name (without the -GOMAXPROCS suffix)
 	// to its budget.
 	Benchmarks map[string]Budget `json:"benchmarks"`
 }
 
-// Budget is one benchmark's pinned numbers. NsPerOp 0 means "not pinned":
-// the ns gate is skipped for that benchmark.
+// Budget is one benchmark's pinned numbers. NsPerOp/BytesPerOp 0 means
+// "not pinned": that gate is skipped for the benchmark.
 type Budget struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 }
 
 // observation is one benchmark's measured minima.
 type observation struct {
-	allocs, ns       float64
-	hasAllocs, hasNs bool
+	allocs, ns, bytes          float64
+	hasAllocs, hasNs, hasBytes bool
 }
 
 // benchLine matches one `go test -bench -benchmem` result line, e.g.
@@ -85,7 +91,8 @@ func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	tolerance := flag.Float64("tolerance", 0, "override baseline allocs tolerance_pct when > 0")
 	nsTolerance := flag.Float64("ns-tolerance", 0, "override baseline ns_tolerance_pct when > 0")
-	metric := flag.String("metric", "all", "which metrics to gate: allocs, ns, or all")
+	bytesTolerance := flag.Float64("bytes-tolerance", 0, "override baseline bytes_tolerance_pct when > 0")
+	metric := flag.String("metric", "all", "which metrics to gate: allocs, ns, bytes, or all")
 	update := flag.Bool("update", false, "rewrite the baseline from the observed numbers")
 	scaling := flag.String("scaling", "", "cmd/bench JSON report: gate multi-shard vs shards=1 throughput instead")
 	scalingTol := flag.Float64("scaling-tolerance", 10, "allowed multi-shard shortfall vs shards=1 in percent")
@@ -100,16 +107,18 @@ func main() {
 		return
 	}
 
-	gateAllocs, gateNs := false, false
+	gateAllocs, gateNs, gateBytes := false, false, false
 	switch *metric {
 	case "allocs":
 		gateAllocs = true
 	case "ns":
 		gateNs = true
+	case "bytes":
+		gateBytes = true
 	case "all":
-		gateAllocs, gateNs = true, true
+		gateAllocs, gateNs, gateBytes = true, true, true
 	default:
-		log.Fatalf("bad -metric %q (want allocs, ns, or all)", *metric)
+		log.Fatalf("bad -metric %q (want allocs, ns, bytes, or all)", *metric)
 	}
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -133,6 +142,13 @@ func main() {
 	}
 	if tolNs <= 0 {
 		tolNs = 15
+	}
+	tolBytes := base.BytesTolerancePct
+	if *bytesTolerance > 0 {
+		tolBytes = *bytesTolerance
+	}
+	if tolBytes <= 0 {
+		tolBytes = 15
 	}
 
 	r := os.Stdin
@@ -166,7 +182,10 @@ func main() {
 			if !got.hasNs {
 				log.Fatalf("%s: no ns/op in input", name)
 			}
-			base.Benchmarks[name] = Budget{AllocsPerOp: got.allocs, NsPerOp: got.ns}
+			if !got.hasBytes {
+				log.Fatalf("%s: no B/op in input (was -benchmem passed?)", name)
+			}
+			base.Benchmarks[name] = Budget{AllocsPerOp: got.allocs, NsPerOp: got.ns, BytesPerOp: got.bytes}
 		}
 		enc, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
@@ -224,10 +243,21 @@ func main() {
 				check(name, "ns/op", got.ns, budget.NsPerOp, tolNs)
 			}
 		}
+		if gateBytes {
+			switch {
+			case budget.BytesPerOp <= 0:
+				log.Printf("skip %s: no bytes/op baseline pinned", name)
+			case !got.hasBytes:
+				log.Printf("FAIL %s: no B/op in input (was -benchmem passed?)", name)
+				failed = true
+			default:
+				check(name, "B/op", got.bytes, budget.BytesPerOp, tolBytes)
+			}
+		}
 	}
 	for name, got := range observed {
 		if _, ok := base.Benchmarks[name]; !ok {
-			log.Printf("skip %s: %.0f allocs/op, %.0f ns/op (not tracked)", name, got.allocs, got.ns)
+			log.Printf("skip %s: %.0f allocs/op, %.0f ns/op, %.0f B/op (not tracked)", name, got.allocs, got.ns, got.bytes)
 		}
 	}
 	if failed {
@@ -350,6 +380,13 @@ func parseBench(f *os.File) (map[string]observation, error) {
 				}
 				if !obs.hasNs || v < obs.ns {
 					obs.ns, obs.hasNs = v, true
+				}
+			case "B/op":
+				if err != nil {
+					return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+				}
+				if !obs.hasBytes || v < obs.bytes {
+					obs.bytes, obs.hasBytes = v, true
 				}
 			}
 		}

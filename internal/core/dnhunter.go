@@ -141,13 +141,16 @@ type tag struct {
 // runs one of per shard; new code should prefer Engine, which adds
 // context cancellation, error returns, and parallelism.
 type DNHunter struct {
-	cfg     Config
-	res     *resolver.Resolver
-	table   *flows.Table
-	db      *flowdb.DB
-	parser  layers.Parser
-	dnsMsg  dnswire.Message
-	pending map[flows.Key]tag
+	cfg    Config
+	res    *resolver.Resolver
+	table  *flows.Table
+	db     *flowdb.DB
+	parser layers.Parser
+	dnsMsg dnswire.Message
+	// tags holds the pending label of every live flow, indexed by the flow
+	// table's slot handle — a dense slice instead of a keyed map, so the
+	// tag attach/detach pair per flow costs two array stores.
+	tags []tag
 	// addrs is the reusable answer-address scratch for handleDNS.
 	addrs []netip.Addr
 	stats Stats
@@ -156,10 +159,9 @@ type DNHunter struct {
 // New assembles a pipeline from cfg.
 func New(cfg Config) *DNHunter {
 	h := &DNHunter{
-		cfg:     cfg,
-		res:     resolver.New(cfg.Resolver),
-		db:      cfg.DB,
-		pending: make(map[flows.Key]tag),
+		cfg: cfg,
+		res: resolver.New(cfg.Resolver),
+		db:  cfg.DB,
 	}
 	if h.db == nil {
 		h.db = flowdb.New()
@@ -230,16 +232,17 @@ func (h *DNHunter) handleParsed(info *layers.Decoded, at time.Duration) {
 // the orient step (and keep zero parser stats of their own).
 func (h *DNHunter) handleOrientedFlow(e *shardEntry, payload []byte) {
 	p := flows.OrientedPacket{
-		Key: e.key, C2S: e.c2s, TCP: e.tcp, Flags: e.flags, Payload: payload,
+		Key: e.key, C2S: e.c2s, Hash: e.hash, TCP: e.tcp, Flags: e.flags, Payload: payload,
 	}
 	h.table.AddOriented(&p, e.at, h.onNewFlow)
 }
 
-// sweepIdle expires idle flows as of now. The sharded Engine drives it with
-// broadcast sweep markers so expiry happens at the same trace times on every
-// shard as it would in a single-threaded run.
-func (h *DNHunter) sweepIdle(now time.Duration) {
-	h.table.FlushIdle(now)
+// expireFlow expires one flow the dispatcher's tracker declared idle. The
+// sharded Engine delivers these in-band, so expiry happens at the same
+// trace times (and on the same flows) on every shard as it would in a
+// single-threaded run, where the table's own recency list drives FlushIdle.
+func (h *DNHunter) expireFlow(key flows.Key, hash uint64) {
+	h.table.ExpireFlow(key, hash)
 }
 
 // Close flushes all in-flight flows (end of capture).
@@ -273,8 +276,9 @@ func (h *DNHunter) handleDNSPayload(client netip.Addr, payload []byte, at time.D
 }
 
 // onNewFlow is the pre-flow tagging hook: label the 5-tuple the moment its
-// first packet appears.
-func (h *DNHunter) onNewFlow(key flows.Key, at time.Duration, sawSYN bool) {
+// first packet appears. The tag parks in the dense tags slice under the
+// flow's table handle until onRecord collects it.
+func (h *DNHunter) onNewFlow(key flows.Key, at time.Duration, sawSYN bool, hd flows.Handle) {
 	var tg tag
 	if e, ok := h.res.LookupEntry(key.ClientIP, key.ServerIP); ok {
 		tg = tag{label: e.FQDN, hit: true, preFlow: sawSYN, dnsAt: e.At}
@@ -284,7 +288,10 @@ func (h *DNHunter) onNewFlow(key flows.Key, at time.Duration, sawSYN bool) {
 			h.stats.UsedEntries++
 		}
 	}
-	h.pending[key] = tg
+	for int(hd) >= len(h.tags) {
+		h.tags = append(h.tags, tag{})
+	}
+	h.tags[hd] = tg
 	if h.cfg.OnTag != nil {
 		h.cfg.OnTag(TagEvent{
 			Key: key, At: at, Label: tg.label, Hit: tg.hit, SYN: sawSYN,
@@ -294,9 +301,9 @@ func (h *DNHunter) onNewFlow(key flows.Key, at time.Duration, sawSYN bool) {
 }
 
 // onRecord receives finished flows from the table and emits labeled flows.
-func (h *DNHunter) onRecord(r flows.Record) {
-	tg := h.pending[r.Key]
-	delete(h.pending, r.Key)
+func (h *DNHunter) onRecord(r flows.Record, hd flows.Handle) {
+	tg := h.tags[hd]
+	h.tags[hd] = tag{} // release the label string with the handle
 	lf := flowdb.LabeledFlow{
 		Record:  r,
 		Label:   tg.label,

@@ -17,7 +17,7 @@ import (
 type EngineConfig struct {
 	// Shards is the number of parallel pipeline workers. Packets are hashed
 	// by client address onto shards, each owning its own resolver Clist,
-	// flow table, and pending-tag map — the paper's suggested client-IP
+	// flow table, and tag state — the paper's suggested client-IP
 	// sharding (§3.1.1). 0 means 1 (the exact single-threaded pipeline);
 	// negative means GOMAXPROCS.
 	Shards int

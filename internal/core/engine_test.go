@@ -279,7 +279,7 @@ func TestEngineOwnsFlowsPlumbing(t *testing.T) {
 	leaked := 0
 	fcfg := flows.Config{
 		DisableAutoSweep: true,
-		OnRecord:         func(flows.Record) { leaked++ },
+		OnRecord:         func(flows.Record, flows.Handle) { leaked++ },
 	}
 	single, err := NewEngine(EngineConfig{Flows: fcfg}).Run(context.Background(), tr.Source())
 	if err != nil {

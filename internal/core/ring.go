@@ -27,9 +27,9 @@ import (
 
 // Entry kinds carried by ring slots.
 const (
-	entryFlow  uint8 = iota // pre-routed flow packet
-	entryDNS                // UDP/53 payload
-	entrySweep              // idle-sweep marker (broadcast)
+	entryFlow   uint8 = iota // pre-routed flow packet
+	entryDNS                 // UDP/53 payload
+	entryExpire              // idle-expiry command for one flow (key)
 )
 
 // shardEntry is one pre-parsed unit of shard work. The dispatcher has
@@ -38,7 +38,11 @@ const (
 // resolver — no re-parse, no re-orient.
 type shardEntry struct {
 	at  time.Duration
-	key flows.Key // entryFlow: oriented flow key; entryDNS: ClientIP holds the attribution client (packet DstIP)
+	key flows.Key // entryFlow/entryExpire: oriented flow key; entryDNS: ClientIP holds the attribution client (packet DstIP)
+	// hash is the key's hash under the engine's shared seed
+	// (entryFlow/entryExpire): computed once by the dispatcher's tracker,
+	// consumed by the shard table via OrientedPacket.Hash / ExpireFlow.
+	hash uint64
 	// payOff/payLen locate the payload copy in the slot arena.
 	payOff, payLen uint32
 	kind           uint8

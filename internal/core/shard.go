@@ -4,30 +4,34 @@ package core
 // frames, parses them, extracts and orients the flow key, and hands each
 // shard pre-framed (key, direction, flags, payload) entries over a bounded
 // lock-free SPSC ring (see ring.go). Each shard runs its own
-// single-threaded DNHunter (resolver Clist, flow table, pending-tag map).
+// single-threaded DNHunter (resolver Clist, flow table, tag slice).
 // The paper suggests exactly this partitioning for parallel deployments
 // (§3.1.1): all state is keyed by client, so clients can be split across
 // independent pipelines with no shared mutable state.
 //
 // Equivalence with the single-threaded pipeline is exact, not approximate,
 // because the dispatcher mirrors every piece of global state that decides
-// where a packet must go:
+// where a packet must go (flows.Tracker — the same swiss index and recency
+// list the Table itself runs on):
 //
-//   - Flow orientation. The dispatcher keeps a replica of the flow table's
-//     key set and applies the table's own orientation rules (existing entry
-//     wins, then SYN, then client networks, then first-sender), so each
-//     packet is routed to the shard of the flow's eventual client — where
-//     that client's resolver entries live. The oriented key and direction
+//   - Flow orientation. The tracker replicates the flow table's key set
+//     and applies the table's own orientation rules (existing entry wins,
+//     then SYN, then client networks, then first-sender), so each packet
+//     is routed to the shard of the flow's eventual client — where that
+//     client's resolver entries live. The oriented key and direction
 //     travel with the entry, so shard tables skip orient entirely
 //     (flows.AddOriented).
-//   - Flow lifetime. The replica removes entries on the same transitions
+//   - Flow lifetime. The tracker removes entries on the same transitions
 //     the table does (RST, second FIN), so a reused 5-tuple re-orients at
 //     the same packet in both modes.
-//   - Idle sweeps. Shard tables run with the amortized auto-sweep disabled;
-//     the dispatcher broadcasts in-band sweep markers at the exact trace
-//     times a single-threaded table would sweep, and expires its own
-//     replica entries with the same rule, so idle flows are expired (and
-//     split into the same records) regardless of shard count.
+//   - Idle expiry. Shard tables run with the amortized auto-sweep
+//     disabled; at the exact trace times a single-threaded table would
+//     sweep, the dispatcher computes the expired set centrally
+//     (Tracker.ExpireIdle walks the recency list over the global packet
+//     order — FlushIdle's exact rule) and sends each owning shard an
+//     in-band per-flow expiry command, so idle flows are expired (and
+//     split into the same records) regardless of shard count. Shards do
+//     O(1) work per expired flow; nobody scans active flows.
 //
 // The one intentional deviation: each shard has its own Clist of the
 // configured size, so aggregate eviction behaviour differs from one global
@@ -38,6 +42,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -93,8 +98,8 @@ func (w *shardWorker) run(wg *sync.WaitGroup, abort *atomic.Bool) {
 					w.h.handleOrientedFlow(e, s.payload(e))
 				case entryDNS:
 					w.h.handleDNSPayload(e.key.ClientIP, s.payload(e), e.at)
-				case entrySweep:
-					w.h.sweepIdle(e.at)
+				case entryExpire:
+					w.h.expireFlow(e.key, e.hash)
 				}
 			}
 		}
@@ -105,14 +110,6 @@ func (w *shardWorker) run(wg *sync.WaitGroup, abort *atomic.Bool) {
 	}
 }
 
-// dispEntry mirrors one live flow-table entry: which shard owns it, when
-// it last saw traffic, and whether one FIN has been seen.
-type dispEntry struct {
-	shard   int
-	end     time.Duration
-	closing bool
-}
-
 // dispatcher parses, routes, batches, and sweeps.
 type dispatcher struct {
 	workers []*shardWorker
@@ -121,13 +118,14 @@ type dispatcher struct {
 	batch   int
 	bufMax  int
 
-	entries    map[flows.Key]*dispEntry
-	clientNets []netip.Prefix
-	idle       time.Duration
-	sweepMark  time.Duration
-
-	// freeEntries recycles dispEntry structs removed from the replica.
-	freeEntries []*dispEntry
+	// tracker mirrors the shard tables' flow lifecycle over the global
+	// packet order; assign/expire are its prebound callbacks (bound once so
+	// the per-packet Route call passes a plain func value, no closure).
+	tracker   *flows.Tracker
+	assign    func(netip.Addr) uint32
+	expire    func(flows.Key, uint64, uint32)
+	idle      time.Duration
+	sweepMark time.Duration
 }
 
 // runSharded is the Shards>1 path.
@@ -136,11 +134,13 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	sink := SyncSink(e.cfg.Sink)
 
 	bufCap := e.cfg.Batch * slotBufPerEntry
+	seed := rand.Uint64() | 1 // shared tracker/table hash seed, never zero
 	workers := make([]*shardWorker, n)
 	for i := range workers {
 		fcfg := e.cfg.Flows
-		fcfg.DisableAutoSweep = true // dispatcher drives sweeps via markers
+		fcfg.DisableAutoSweep = true // dispatcher drives expiry via tracker commands
 		fcfg.OnRecord = nil          // engine-managed; see EngineConfig.Flows
+		fcfg.Seed = seed
 		workers[i] = &shardWorker{
 			h: New(sinkConfig(Config{
 				Resolver: e.cfg.Resolver,
@@ -160,19 +160,20 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 		go w.run(&wg, &abort)
 	}
 
-	idle := e.cfg.Flows.IdleTimeout
-	if idle <= 0 {
-		idle = 5 * time.Minute // keep in lockstep with flows.NewTable
-	}
+	// One shared hash seed: the tracker computes each flow key's hash once
+	// at dispatch and ships it; shard tables (built with the same seed via
+	// fcfg.Seed above) use it directly instead of re-hashing per packet.
+	tracker := flows.NewTracker(e.cfg.Flows.ClientNets, e.cfg.Flows.IdleTimeout, seed)
 	d := &dispatcher{
-		workers:    workers,
-		rings:      make([]*spscRing, n),
-		batch:      e.cfg.Batch,
-		bufMax:     bufCap,
-		entries:    make(map[flows.Key]*dispEntry),
-		clientNets: e.cfg.Flows.ClientNets,
-		idle:       idle,
+		workers: workers,
+		rings:   make([]*spscRing, n),
+		batch:   e.cfg.Batch,
+		bufMax:  bufCap,
+		tracker: tracker,
+		idle:    tracker.IdleTimeout(), // lockstep with flows.NewTable's default
 	}
+	d.assign = d.shardOf
+	d.expire = d.enqueueExpire
 	for i, w := range workers {
 		d.rings[i] = w.ring
 	}
@@ -238,14 +239,14 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 // shardOf hashes a client address onto a shard with FNV-1a: deterministic
 // across runs and processes, so a fixed shard count always produces the
 // same client partitioning.
-func (d *dispatcher) shardOf(client netip.Addr) int {
+func (d *dispatcher) shardOf(client netip.Addr) uint32 {
 	b := client.As16()
 	h := uint64(14695981039346656037)
 	for _, c := range b {
 		h ^= uint64(c)
 		h *= 1099511628211
 	}
-	return int(h % uint64(len(d.workers)))
+	return uint32(h % uint64(len(d.workers)))
 }
 
 // dispatch parses one frame and routes it. Mirrors DNHunter.HandlePacket's
@@ -269,7 +270,7 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 		if len(dec.Payload) >= 3 && dec.Payload[2]&0x80 != 0 {
 			client = dec.DstIP
 		}
-		d.enqueue(d.shardOf(client), shardEntry{
+		d.enqueue(int(d.shardOf(client)), shardEntry{
 			at:   at,
 			kind: entryDNS,
 			key:  flows.Key{ClientIP: dec.DstIP},
@@ -279,11 +280,15 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 	if !dec.HasTCP && !dec.HasUDP {
 		return // the flow table ignores these; don't ship them
 	}
-	key, c2s, sh := d.routeFlow(dec, at)
-	d.enqueue(sh, shardEntry{
+	// The tracker mirrors the table's orientation and entry lifecycle, so
+	// the oriented key/direction ship with the entry and the shard's table
+	// skips both the reverse probe and the orientation rules.
+	key, c2s, kh, sh := d.tracker.Route(dec, at, d.assign)
+	d.enqueue(int(sh), shardEntry{
 		at:    at,
 		kind:  entryFlow,
 		key:   key,
+		hash:  kh,
 		c2s:   c2s,
 		tcp:   dec.HasTCP,
 		flags: dec.TCPFlags,
@@ -292,87 +297,15 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 	// single-threaded table would sweep inside Add.
 	if at-d.sweepMark >= d.idle {
 		d.sweepMark = at
-		d.broadcastSweep(at)
+		d.tracker.ExpireIdle(at, d.expire)
 	}
 }
 
-// routeFlow mirrors flows.Table.orient plus the table's entry lifecycle,
-// returning the canonical flow key, the packet's direction under it, and
-// the shard owning the flow. The key/direction pair is exactly what the
-// shard's table would compute, so it ships with the entry and the table's
-// orient step runs once, here.
-func (d *dispatcher) routeFlow(dec *layers.Decoded, at time.Duration) (flows.Key, bool, int) {
-	key := flows.Key{
-		ClientIP: dec.SrcIP, ServerIP: dec.DstIP,
-		ClientPort: dec.SrcPort, ServerPort: dec.DstPort,
-		Proto: dec.Proto,
-	}
-	c2s := true
-	e, ok := d.entries[key]
-	if !ok {
-		rev := key.Reverse()
-		if e, ok = d.entries[rev]; ok {
-			key = rev
-			c2s = false
-		}
-	}
-	if !ok {
-		// New flow: same orientation rules as the table — a pure SYN marks
-		// the sender as client, else the configured client networks, else
-		// the first sender.
-		if !(dec.HasTCP && dec.TCPFlags.Has(layers.TCPSyn) && !dec.TCPFlags.Has(layers.TCPAck)) && len(d.clientNets) > 0 {
-			src := containsAddr(d.clientNets, dec.SrcIP)
-			dst := containsAddr(d.clientNets, dec.DstIP)
-			if dst && !src {
-				key = key.Reverse()
-				c2s = false
-			}
-		}
-		e = d.newEntry(d.shardOf(key.ClientIP))
-		d.entries[key] = e
-	}
-	e.end = at
-	if dec.HasTCP {
-		// Mirror advanceTCP's finish transitions so a reused 5-tuple
-		// re-orients at the same packet the table would re-create it.
-		switch {
-		case dec.TCPFlags.Has(layers.TCPRst):
-			d.dropEntry(key, e)
-		case dec.TCPFlags.Has(layers.TCPFin):
-			if e.closing {
-				d.dropEntry(key, e)
-			} else {
-				e.closing = true
-			}
-		}
-	}
-	return key, c2s, e.shard
-}
-
-// newEntry takes a replica entry from the free list or allocates one.
-func (d *dispatcher) newEntry(shard int) *dispEntry {
-	if n := len(d.freeEntries); n > 0 {
-		e := d.freeEntries[n-1]
-		d.freeEntries = d.freeEntries[:n-1]
-		*e = dispEntry{shard: shard}
-		return e
-	}
-	return &dispEntry{shard: shard}
-}
-
-// dropEntry removes a replica entry and recycles it.
-func (d *dispatcher) dropEntry(key flows.Key, e *dispEntry) {
-	delete(d.entries, key)
-	d.freeEntries = append(d.freeEntries, e)
-}
-
-func containsAddr(nets []netip.Prefix, a netip.Addr) bool {
-	for _, p := range nets {
-		if p.Contains(a) {
-			return true
-		}
-	}
-	return false
+// enqueueExpire ships one centrally-computed idle expiry to the owning
+// shard, in-band with its packet stream, hash included so the shard's
+// table probe skips hashKey just like the entryFlow path.
+func (d *dispatcher) enqueueExpire(key flows.Key, hash uint64, shard uint32) {
+	d.enqueue(int(shard), shardEntry{kind: entryExpire, key: key, hash: hash}, nil)
 }
 
 // enqueue appends an entry (copying its payload into the slot arena — the
@@ -398,18 +331,5 @@ func (d *dispatcher) enqueue(sh int, e shardEntry, payload []byte) {
 	s.entries = append(s.entries, e)
 	if len(s.entries) >= d.batch {
 		r.publish()
-	}
-}
-
-// broadcastSweep appends an in-band sweep marker to every shard's stream
-// and expires the dispatcher's own flow replica with the table's rule.
-func (d *dispatcher) broadcastSweep(now time.Duration) {
-	for sh := range d.rings {
-		d.enqueue(sh, shardEntry{at: now, kind: entrySweep}, nil)
-	}
-	for key, e := range d.entries {
-		if now-e.end >= d.idle {
-			d.dropEntry(key, e)
-		}
 	}
 }

@@ -7,6 +7,7 @@ package flowdb
 import (
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/flows"
@@ -42,10 +43,25 @@ type LabeledFlow struct {
 }
 
 // DB is an append-only labeled flow store with secondary indexes.
-// Not safe for concurrent use.
+//
+// The indexes are built lazily: Add only appends (keeping the pipeline's
+// per-flow cost to one slice append — no map work on the capture hot
+// path), and the first query extends the indexes over whatever arrived
+// since the last one.
+//
+// Add and Merge are not safe for concurrent use with anything. Queries
+// are safe to issue concurrently with each other once writing has
+// stopped — the catch-up index build they trigger is serialized by an
+// internal lock — but never concurrently with Add/Merge.
 type DB struct {
 	recs []LabeledFlow
 
+	// mu serializes the lazy index catch-up, so concurrent queries on a
+	// finished DB never race on the map builds.
+	mu sync.Mutex
+	// indexed is the number of records the indexes cover; index() catches
+	// the maps up before any of them is read.
+	indexed   int
 	byFQDN    map[string][]int
 	bySLD     map[string][]int
 	byServer  map[netip.Addr][]int
@@ -55,31 +71,45 @@ type DB struct {
 
 // New creates an empty database.
 func New() *DB {
-	return &DB{
-		byFQDN:    make(map[string][]int),
-		bySLD:     make(map[string][]int),
-		byServer:  make(map[netip.Addr][]int),
-		byPort:    make(map[uint16][]int),
-		byVantage: make(map[string][]int),
-	}
+	return &DB{}
 }
 
-// Add appends one labeled flow and maintains the indexes.
+// Add appends one labeled flow. Index maintenance is deferred to the next
+// query.
 func (db *DB) Add(f LabeledFlow) {
 	if f.Labeled && f.SLD == "" {
 		f.SLD = stats.SLD(f.Label)
 	}
-	idx := len(db.recs)
 	db.recs = append(db.recs, f)
-	if f.Labeled {
-		db.byFQDN[f.Label] = append(db.byFQDN[f.Label], idx)
-		db.bySLD[f.SLD] = append(db.bySLD[f.SLD], idx)
+}
+
+// index catches the secondary indexes up with the record log.
+func (db *DB) index() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.indexed == len(db.recs) {
+		return
 	}
-	db.byServer[f.Key.ServerIP] = append(db.byServer[f.Key.ServerIP], idx)
-	db.byPort[f.Key.ServerPort] = append(db.byPort[f.Key.ServerPort], idx)
-	if f.Vantage != "" {
-		db.byVantage[f.Vantage] = append(db.byVantage[f.Vantage], idx)
+	if db.byFQDN == nil {
+		db.byFQDN = make(map[string][]int)
+		db.bySLD = make(map[string][]int)
+		db.byServer = make(map[netip.Addr][]int)
+		db.byPort = make(map[uint16][]int)
+		db.byVantage = make(map[string][]int)
 	}
+	for idx := db.indexed; idx < len(db.recs); idx++ {
+		f := &db.recs[idx]
+		if f.Labeled {
+			db.byFQDN[f.Label] = append(db.byFQDN[f.Label], idx)
+			db.bySLD[f.SLD] = append(db.bySLD[f.SLD], idx)
+		}
+		db.byServer[f.Key.ServerIP] = append(db.byServer[f.Key.ServerIP], idx)
+		db.byPort[f.Key.ServerPort] = append(db.byPort[f.Key.ServerPort], idx)
+		if f.Vantage != "" {
+			db.byVantage[f.Vantage] = append(db.byVantage[f.Vantage], idx)
+		}
+	}
+	db.indexed = len(db.recs)
 }
 
 // Merge appends every flow of the others into db, maintaining the indexes.
@@ -121,25 +151,29 @@ func (db *DB) gather(idxs []int) []*LabeledFlow {
 }
 
 // ByFQDN returns flows labeled exactly fqdn.
-func (db *DB) ByFQDN(fqdn string) []*LabeledFlow { return db.gather(db.byFQDN[fqdn]) }
+func (db *DB) ByFQDN(fqdn string) []*LabeledFlow { db.index(); return db.gather(db.byFQDN[fqdn]) }
 
 // BySLD returns flows whose label belongs to the given second-level domain
 // (Algorithm 2's queryByDomainName on the organization).
-func (db *DB) BySLD(sld string) []*LabeledFlow { return db.gather(db.bySLD[sld]) }
+func (db *DB) BySLD(sld string) []*LabeledFlow { db.index(); return db.gather(db.bySLD[sld]) }
 
 // ByServer returns flows to the given server address (Algorithm 3's query).
-func (db *DB) ByServer(addr netip.Addr) []*LabeledFlow { return db.gather(db.byServer[addr]) }
+func (db *DB) ByServer(addr netip.Addr) []*LabeledFlow {
+	db.index()
+	return db.gather(db.byServer[addr])
+}
 
 // ByPort returns flows to the given server port (Algorithm 4's query).
-func (db *DB) ByPort(port uint16) []*LabeledFlow { return db.gather(db.byPort[port]) }
+func (db *DB) ByPort(port uint16) []*LabeledFlow { db.index(); return db.gather(db.byPort[port]) }
 
 // ByVantage returns flows observed at the named vantage point. Flows from
 // single-source runs carry no vantage and are reachable only via All.
-func (db *DB) ByVantage(name string) []*LabeledFlow { return db.gather(db.byVantage[name]) }
+func (db *DB) ByVantage(name string) []*LabeledFlow { db.index(); return db.gather(db.byVantage[name]) }
 
 // Vantages returns every distinct vantage label in the database, sorted;
 // empty for single-source runs.
 func (db *DB) Vantages() []string {
+	db.index()
 	out := make([]string, 0, len(db.byVantage))
 	for v := range db.byVantage {
 		out = append(out, v)
@@ -150,6 +184,7 @@ func (db *DB) Vantages() []string {
 
 // FQDNsOfSLD returns the distinct FQDNs labeled under sld, sorted.
 func (db *DB) FQDNsOfSLD(sld string) []string {
+	db.index()
 	seen := make(map[string]struct{})
 	for _, idx := range db.bySLD[sld] {
 		seen[db.recs[idx].Label] = struct{}{}
@@ -165,12 +200,14 @@ func (db *DB) FQDNsOfSLD(sld string) []string {
 // ServersOfFQDN returns the distinct server addresses observed serving
 // fqdn, sorted.
 func (db *DB) ServersOfFQDN(fqdn string) []netip.Addr {
+	db.index()
 	return distinctServers(db.recs, db.byFQDN[fqdn])
 }
 
 // ServersOfSLD returns the distinct server addresses serving any FQDN of
 // sld, sorted.
 func (db *DB) ServersOfSLD(sld string) []netip.Addr {
+	db.index()
 	return distinctServers(db.recs, db.bySLD[sld])
 }
 
@@ -189,6 +226,7 @@ func distinctServers(recs []LabeledFlow, idxs []int) []netip.Addr {
 
 // Servers returns every distinct server address in the database, sorted.
 func (db *DB) Servers() []netip.Addr {
+	db.index()
 	out := make([]netip.Addr, 0, len(db.byServer))
 	for a := range db.byServer {
 		out = append(out, a)
@@ -199,6 +237,7 @@ func (db *DB) Servers() []netip.Addr {
 
 // FQDNs returns every distinct label in the database, sorted.
 func (db *DB) FQDNs() []string {
+	db.index()
 	out := make([]string, 0, len(db.byFQDN))
 	for f := range db.byFQDN {
 		out = append(out, f)
@@ -209,6 +248,7 @@ func (db *DB) FQDNs() []string {
 
 // SLDs returns every distinct second-level domain, sorted.
 func (db *DB) SLDs() []string {
+	db.index()
 	out := make([]string, 0, len(db.bySLD))
 	for s := range db.bySLD {
 		out = append(out, s)
@@ -219,6 +259,7 @@ func (db *DB) SLDs() []string {
 
 // Ports returns every distinct server port, sorted.
 func (db *DB) Ports() []uint16 {
+	db.index()
 	out := make([]uint16, 0, len(db.byPort))
 	for p := range db.byPort {
 		out = append(out, p)

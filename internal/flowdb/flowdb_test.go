@@ -2,6 +2,7 @@ package flowdb
 
 import (
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -137,4 +138,47 @@ func TestAtAndAll(t *testing.T) {
 	if db.At(0).Label != "a.x.com" || len(db.All()) != 1 {
 		t.Fatal("At/All broken")
 	}
+}
+
+// TestConcurrentQueriesAfterIngest: once writing has stopped, queries may
+// run concurrently — the first ones race to build the lazy indexes, which
+// must be serialized internally (run under -race).
+func TestConcurrentQueriesAfterIngest(t *testing.T) {
+	db := New()
+	for i := 0; i < 500; i++ {
+		db.Add(LabeledFlow{
+			Record: flows.Record{Key: flows.Key{
+				ClientIP:   netip.MustParseAddr("10.0.0.1"),
+				ServerIP:   netip.AddrFrom4([4]byte{203, 0, 113, byte(i)}),
+				ServerPort: uint16(80 + i%3),
+			}},
+			Label: "cdn.example.com", Labeled: true, Vantage: "EU1",
+		})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0:
+				if got := len(db.ByFQDN("cdn.example.com")); got != 500 {
+					t.Errorf("ByFQDN = %d", got)
+				}
+			case 1:
+				if got := len(db.ByPort(80)); got == 0 {
+					t.Error("ByPort empty")
+				}
+			case 2:
+				if got := db.Vantages(); len(got) != 1 || got[0] != "EU1" {
+					t.Errorf("Vantages = %v", got)
+				}
+			case 3:
+				if got := len(db.Servers()); got != 256 {
+					t.Errorf("Servers = %d", got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

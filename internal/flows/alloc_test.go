@@ -12,7 +12,7 @@ import (
 // case on a busy link — must not allocate.
 
 func TestTableHitZeroAlloc(t *testing.T) {
-	tbl := NewTable(Config{OnRecord: func(Record) {}})
+	tbl := NewTable(Config{OnRecord: func(Record, Handle) {}})
 	syn := &layers.Decoded{
 		HasIP: true, HasTCP: true,
 		SrcIP: netip.MustParseAddr("10.0.0.1"), DstIP: netip.MustParseAddr("192.0.2.10"),
@@ -40,7 +40,7 @@ func TestTableHitZeroAlloc(t *testing.T) {
 // Steady churn — flows opening and closing at a constant rate — must reuse
 // recycled flow structs instead of growing the heap.
 func TestTableChurnSteadyStateAlloc(t *testing.T) {
-	tbl := NewTable(Config{OnRecord: func(Record) {}})
+	tbl := NewTable(Config{OnRecord: func(Record, Handle) {}})
 	src := netip.MustParseAddr("10.0.0.1")
 	dst := netip.MustParseAddr("192.0.2.10")
 	cycle := func(port uint16) {

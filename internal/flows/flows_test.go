@@ -204,7 +204,7 @@ func TestOnNewFiresOncePerFlow(t *testing.T) {
 	tbl := NewTable(Config{})
 	var calls []Key
 	var syns []bool
-	onNew := func(k Key, _ time.Duration, sawSYN bool) {
+	onNew := func(k Key, _ time.Duration, sawSYN bool, _ Handle) {
 		calls = append(calls, k)
 		syns = append(syns, sawSYN)
 	}
@@ -224,7 +224,7 @@ func TestOnNewFiresOncePerFlow(t *testing.T) {
 
 func TestOnRecordCallback(t *testing.T) {
 	var got []Record
-	tbl := NewTable(Config{OnRecord: func(r Record) { got = append(got, r) }})
+	tbl := NewTable(Config{OnRecord: func(r Record, _ Handle) { got = append(got, r) }})
 	runConn(tbl, 0, 80, []byte("GET / HTTP/1.1\r\nHost: a.b\r\n\r\n"), nil)
 	if len(got) != 1 || len(tbl.Records()) != 0 {
 		t.Fatalf("callback got %d, frozen %d", len(got), len(tbl.Records()))

@@ -1,0 +1,104 @@
+package flows
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/layers"
+)
+
+// TestTrackerLockstepWithTable replays one pseudo-random packet stream two
+// ways — directly through a Table via Add, and through the dispatcher
+// arrangement (Tracker.Route deciding key/direction/expiry, the Table fed
+// via AddOriented and ExpireFlow) — and requires identical emitted record
+// streams, stats, and live-flow counts at every step. This is the exact
+// single-shard projection of the sharded engine's equivalence contract.
+func TestTrackerLockstepWithTable(t *testing.T) {
+	clientNets := []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}
+	const idle = 2 * time.Second
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		data := make([]byte, 4*2048)
+		s := seed * 977
+		for i := range data {
+			s += 0x9E3779B97F4A7C15
+			z := s
+			z ^= z >> 30
+			z *= 0xBF58476D1CE4E5B9
+			z ^= z >> 27
+			data[i] = byte(z >> 48)
+		}
+
+		var direct, routed []Record
+		// The routed table shares the tracker's seed, exactly like the
+		// engine, so Route's hash is consumed via OrientedPacket.Hash; the
+		// direct table keeps its own random seed.
+		sharedSeed := seed*0x9E3779B97F4A7C15 | 1
+		tblDirect := NewTable(Config{IdleTimeout: idle, ClientNets: clientNets, DisableAutoSweep: true,
+			OnRecord: func(r Record, _ Handle) { direct = append(direct, r) }})
+		tblRouted := NewTable(Config{IdleTimeout: idle, ClientNets: clientNets, DisableAutoSweep: true, Seed: sharedSeed,
+			OnRecord: func(r Record, _ Handle) { routed = append(routed, r) }})
+		tk := NewTracker(clientNets, idle, sharedSeed)
+		if tk.IdleTimeout() != idle {
+			t.Fatalf("tracker idle = %v", tk.IdleTimeout())
+		}
+		assign := func(netip.Addr) uint32 { return 0 }
+
+		var cur, sweepMark time.Duration
+		for i := 0; i+4 <= len(data); i += 4 {
+			var d *layers.Decoded
+			var sweep bool
+			d, cur, sweep = decodeOp(data[i:i+4], cur)
+			if sweep {
+				continue // explicit sweeps are the engine's job; exercised below
+			}
+			tblDirect.Add(d, cur, nil)
+
+			key, c2s, kh, shard := tk.Route(d, cur, assign)
+			if shard != 0 {
+				t.Fatalf("assigned shard %d", shard)
+			}
+			tblRouted.AddOriented(&OrientedPacket{
+				Key: key, C2S: c2s, Hash: kh, TCP: d.HasTCP, Flags: d.TCPFlags, Payload: d.Payload,
+			}, cur, nil)
+
+			// The dispatcher's amortized sweep: tracker computes the expired
+			// set, the table executes it; the direct table sweeps itself.
+			if cur-sweepMark >= idle {
+				sweepMark = cur
+				tblDirect.FlushIdle(cur)
+				tk.ExpireIdle(cur, func(k Key, kh uint64, _ uint32) { tblRouted.ExpireFlow(k, kh) })
+			}
+
+			if tblDirect.Active() != tblRouted.Active() || tk.Active() != tblRouted.Active() {
+				t.Fatalf("seed %d op %d: active direct=%d routed=%d tracker=%d",
+					seed, i/4, tblDirect.Active(), tblRouted.Active(), tk.Active())
+			}
+		}
+		tblDirect.FlushAll()
+		tblRouted.FlushAll()
+
+		if tblDirect.Stats() != tblRouted.Stats() {
+			t.Fatalf("seed %d: stats diverge:\n direct %+v\n routed %+v", seed, tblDirect.Stats(), tblRouted.Stats())
+		}
+		if len(direct) != len(routed) {
+			t.Fatalf("seed %d: %d records direct, %d routed", seed, len(direct), len(routed))
+		}
+		for i := range direct {
+			if !recordsEqual(direct[i], routed[i]) {
+				t.Fatalf("seed %d: record %d diverges:\n direct %+v\n routed %+v", seed, i, direct[i], routed[i])
+			}
+		}
+	}
+}
+
+// TestExpireFlowUnknownKeyNoop: an expiry command for a flow the table no
+// longer holds (already closed by RST, say) must be a safe no-op.
+func TestExpireFlowUnknownKeyNoop(t *testing.T) {
+	tbl := NewTable(Config{})
+	tbl.ExpireFlow(Key{ClientIP: fuzzClients[0], ServerIP: fuzzServers[0], ClientPort: 1, ServerPort: 2, Proto: layers.IPProtocolTCP}, 0)
+	if st := tbl.Stats(); st.FlowsExpired != 0 || tbl.Active() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

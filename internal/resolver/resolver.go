@@ -1,34 +1,47 @@
 // Package resolver implements the paper's central data structure (§3.1.1,
 // Fig. 2, Algorithm 1): a passive replica of the monitored clients' DNS
 // caches. Each sniffed DNS response inserts one FQDN entry into a FIFO
-// circular list (the Clist) of fixed size L, and links it from a two-level
-// lookup structure clientIP → serverIP → entry. Back-references from each
-// entry to the map keys pointing at it make eviction O(refs) with no
-// garbage collection pass, exactly as the paper describes.
+// circular list (the Clist) of fixed size L, and links it from a lookup
+// structure keyed by (clientIP, serverIP). Back-references from each entry
+// to the map keys pointing at it make eviction O(refs) with no garbage
+// collection pass, exactly as the paper describes.
 //
-// The inner serverIP map comes in two flavours, selected by Config.MapKind:
-// the paper's C++ std::map is modelled by an ordered slice with binary
-// search (MapOrdered), and its footnote-2 alternative by Go's hash map
-// (MapHash). BenchmarkAblationMapKind compares them.
+// The lookup structure comes in two flavours, selected by Config.MapKind:
+//
+//   - MapHash (the default, and the hot path) flattens the paper's
+//     two-level clientIP → serverIP → entry maps into a single swiss-style
+//     open-addressing table keyed by the combined (client, server) address
+//     pair — one probe per lookup instead of two chained hash maps, with
+//     buckets that hold only uint32 indices into a node slab (pointer-free,
+//     invisible to the GC). This models the paper's footnote-2 hash-map
+//     alternative.
+//   - MapOrdered keeps the paper-fidelity two-level structure with an
+//     ordered inner map (a sorted slice with binary search, O(log n) like
+//     the paper's C++ std::map), behind the serverMap seam.
+//
+// BenchmarkAblationMapKind compares them.
 package resolver
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"net/netip"
 	"sort"
 	"time"
+
+	"repro/internal/swiss"
 )
 
-// MapKind selects the inner serverIP → entry container.
+// MapKind selects the (client, server) → entry lookup container.
 type MapKind uint8
 
 // Container choices.
 const (
-	// MapHash uses Go's built-in map: O(1) expected, the paper's footnote-2
-	// option.
+	// MapHash uses the flat swiss table: O(1) expected, the paper's
+	// footnote-2 option.
 	MapHash MapKind = iota
-	// MapOrdered uses a sorted slice with binary search: O(log n) like the
-	// paper's std::map.
+	// MapOrdered uses the two-level structure with a sorted inner slice
+	// and binary search: O(log n) like the paper's std::map.
 	MapOrdered
 )
 
@@ -38,7 +51,7 @@ type Config struct {
 	// the implied caching time covers ~1 hour of responses (§6). Zero means
 	// 1<<20 entries.
 	ClistSize int
-	// MapKind selects the inner map implementation.
+	// MapKind selects the lookup-structure implementation.
 	MapKind MapKind
 	// History keeps up to this many previous FQDNs per (client, server) key
 	// so LookupAll can return all candidate labels (§6 discusses the <4%
@@ -76,10 +89,10 @@ type Entry struct {
 
 type backref struct {
 	client, server netip.Addr
-	// prev chains history when Config.History > 0.
 }
 
-// serverMap is the inner container abstraction.
+// serverMap is the MapOrdered inner container abstraction (the seam the
+// paper-fidelity mode lives behind).
 type serverMap interface {
 	get(netip.Addr) (*node, bool)
 	put(netip.Addr, *node)
@@ -93,14 +106,6 @@ type node struct {
 	entry *Entry
 	older []*Entry // most recent first; bounded by Config.History
 }
-
-// hashServerMap is the MapHash implementation.
-type hashServerMap map[netip.Addr]*node
-
-func (m hashServerMap) get(a netip.Addr) (*node, bool) { n, ok := m[a]; return n, ok }
-func (m hashServerMap) put(a netip.Addr, n *node)      { m[a] = n }
-func (m hashServerMap) del(a netip.Addr)               { delete(m, a) }
-func (m hashServerMap) size() int                      { return len(m) }
 
 // orderedServerMap is the MapOrdered implementation: entries sorted by
 // address, looked up by binary search. Matches the strict-weak-ordering
@@ -146,11 +151,198 @@ func (m *orderedServerMap) del(a netip.Addr) {
 
 func (m *orderedServerMap) size() int { return len(m.keys) }
 
+// pairNode is one flat-table node: the (client, server) key it is filed
+// under, the newest entry, and bounded history. Nodes live in a dense slab
+// addressed by the uint32 slots of the swiss index.
+type pairNode struct {
+	client, server netip.Addr
+	hash           uint64
+	entry          *Entry
+	older          []*Entry
+}
+
+// noSlot is the nil slab index.
+const noSlot = ^uint32(0)
+
+// nodeChunkBits sizes the pairNode slab chunks (256 nodes per chunk).
+// Chunks are allocated once and never copied, so slab growth neither moves
+// nodes nor re-pays write barriers over their pointer fields the way a
+// doubling append would.
+const (
+	nodeChunkBits = 8
+	nodeChunkLen  = 1 << nodeChunkBits
+	nodeChunkMask = nodeChunkLen - 1
+)
+
+// pairTable is the flat MapHash lookup structure: a swiss index over a
+// pairNode slab, keyed by the combined (client, server) address pair.
+type pairTable struct {
+	ctrl   []uint64
+	slots  []uint32
+	gmask  uint64
+	used   int
+	tombs  int
+	growAt int
+
+	seed uint64
+	// nodes backs every pairNode in fixed-size chunks, addressed by the
+	// uint32 slots of the index.
+	nodes    [][]pairNode
+	nodesLen uint32
+	free     []uint32
+	// clients counts live keys per client address; its length is the
+	// number of distinct clients tracked. It is touched only when a key is
+	// created or destroyed — never on the per-flow lookup path.
+	clients map[netip.Addr]uint32
+}
+
+func newPairTable() *pairTable {
+	t := &pairTable{seed: rand.Uint64(), clients: make(map[netip.Addr]uint32)}
+	t.init(16)
+	return t
+}
+
+func (t *pairTable) init(groups int) {
+	t.ctrl = make([]uint64, groups)
+	for i := range t.ctrl {
+		t.ctrl[i] = swiss.EmptyGroup
+	}
+	t.slots = make([]uint32, groups*swiss.GroupSize)
+	t.gmask = uint64(groups - 1)
+	t.used, t.tombs = 0, 0
+	t.growAt = groups * swiss.GroupSize * 7 / 8
+}
+
+func (t *pairTable) hash(client, server netip.Addr) uint64 {
+	return swiss.HashAddr(swiss.HashAddr(t.seed, client), server)
+}
+
+// at returns the node at slab slot i.
+func (t *pairTable) at(i uint32) *pairNode { return &t.nodes[i>>nodeChunkBits][i&nodeChunkMask] }
+
+// find returns the node slot for (client, server), or noSlot.
+func (t *pairTable) find(h uint64, client, server netip.Addr) uint32 {
+	h2 := swiss.H2(h)
+	g := swiss.H1(h) & t.gmask
+	for step := uint64(1); ; step++ {
+		w := t.ctrl[g]
+		for m := swiss.MatchH2(w, h2); m != 0; m &= m - 1 {
+			s := t.slots[g*swiss.GroupSize+uint64(swiss.FirstLane(m))]
+			if n := t.at(s); n.client == client && n.server == server {
+				return s
+			}
+		}
+		if swiss.MatchEmpty(w) != 0 {
+			return noSlot
+		}
+		g = (g + step) & t.gmask
+	}
+}
+
+// rawInsert places slot under h; the key must be absent and capacity
+// available.
+func (t *pairTable) rawInsert(h uint64, slot uint32) {
+	g := swiss.H1(h) & t.gmask
+	for step := uint64(1); ; step++ {
+		w := t.ctrl[g]
+		if m := swiss.MatchFree(w); m != 0 {
+			lane := swiss.FirstLane(m)
+			if swiss.CtrlAt(w, lane) == swiss.CtrlDeleted {
+				t.tombs--
+			}
+			t.ctrl[g] = swiss.WithCtrl(w, lane, swiss.H2(h))
+			t.slots[g*swiss.GroupSize+uint64(lane)] = slot
+			t.used++
+			return
+		}
+		g = (g + step) & t.gmask
+	}
+}
+
+func (t *pairTable) rehash() {
+	groups := len(t.ctrl)
+	if t.used >= t.growAt/2 {
+		groups *= 2
+	}
+	oldCtrl, oldSlots := t.ctrl, t.slots
+	t.init(groups)
+	for g, w := range oldCtrl {
+		for lane := 0; lane < swiss.GroupSize; lane++ {
+			if swiss.IsFull(swiss.CtrlAt(w, lane)) {
+				s := oldSlots[g*swiss.GroupSize+lane]
+				t.rawInsert(t.at(s).hash, s)
+			}
+		}
+	}
+}
+
+// insert creates a node for (client, server) → e and returns its slot.
+func (t *pairTable) insert(h uint64, client, server netip.Addr, e *Entry) uint32 {
+	if t.used+t.tombs >= t.growAt {
+		t.rehash()
+	}
+	var slot uint32
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		slot = t.nodesLen
+		if slot>>nodeChunkBits == uint32(len(t.nodes)) {
+			t.nodes = append(t.nodes, make([]pairNode, nodeChunkLen))
+		}
+		t.nodesLen++
+	}
+	n := t.at(slot)
+	n.client, n.server, n.hash, n.entry = client, server, h, e
+	t.rawInsert(h, slot)
+	t.clients[client]++
+	return slot
+}
+
+// remove erases the key at slot from the index and recycles the node,
+// dropping the client from the clients count when this was its last key.
+func (t *pairTable) remove(slot uint32) {
+	n := t.at(slot)
+	h2 := swiss.H2(n.hash)
+	g := swiss.H1(n.hash) & t.gmask
+	for step := uint64(1); ; step++ {
+		w := t.ctrl[g]
+		for m := swiss.MatchH2(w, h2); m != 0; m &= m - 1 {
+			lane := swiss.FirstLane(m)
+			if t.slots[g*swiss.GroupSize+uint64(lane)] == slot {
+				if swiss.MatchEmpty(w) != 0 {
+					t.ctrl[g] = swiss.WithCtrl(w, lane, swiss.CtrlEmpty)
+				} else {
+					t.ctrl[g] = swiss.WithCtrl(w, lane, swiss.CtrlDeleted)
+					t.tombs++
+				}
+				t.used--
+				if c := t.clients[n.client] - 1; c == 0 {
+					delete(t.clients, n.client)
+				} else {
+					t.clients[n.client] = c
+				}
+				n.client, n.server, n.hash, n.entry = netip.Addr{}, netip.Addr{}, 0, nil
+				n.older = n.older[:0]
+				t.free = append(t.free, slot)
+				return
+			}
+		}
+		if swiss.MatchEmpty(w) != 0 {
+			return // unreachable for live slots
+		}
+		g = (g + step) & t.gmask
+	}
+}
+
 // Resolver is the DNS cache replica. Not safe for concurrent use; shard by
 // client address for parallel deployments (the paper suggests odd/even
 // fourth-octet sharding).
 type Resolver struct {
-	cfg     Config
+	cfg Config
+	// flat is the MapHash lookup structure; nil in MapOrdered mode, where
+	// clients holds the two-level paper-fidelity structure instead.
+	flat    *pairTable
 	clients map[netip.Addr]serverMap
 	// clist grows on demand up to cfg.ClistSize and only then behaves as a
 	// ring. The FIFO semantics are identical to a preallocated ring — slots
@@ -159,12 +351,15 @@ type Resolver struct {
 	// pointer array.
 	clist []*Entry
 	next  int
+	// alive tracks the live Clist entries incrementally (insert ++, evict
+	// --), so Stats never rescans the list.
+	alive int
 	// freeEntry recycles evicted Clist entries (with their refs capacity)
 	// so a saturated resolver inserts without allocating. Only used when
 	// History == 0: with history enabled, evicted entries can remain
 	// referenced from node history lists.
 	freeEntry []*Entry
-	// freeNode recycles nodes dropped by eviction.
+	// freeNode recycles nodes dropped by eviction (MapOrdered mode).
 	freeNode []*node
 	// Slabs back fresh entries, nodes, and backrefs in blocks, cutting the
 	// filling phase (before the Clist wraps and the free lists take over)
@@ -183,35 +378,37 @@ func New(cfg Config) *Resolver {
 	if cfg.ClistSize <= 0 {
 		cfg.ClistSize = 1 << 20
 	}
-	return &Resolver{
-		cfg:     cfg,
-		clients: make(map[netip.Addr]serverMap),
+	r := &Resolver{cfg: cfg}
+	if cfg.MapKind == MapOrdered {
+		r.clients = make(map[netip.Addr]serverMap)
+	} else {
+		r.flat = newPairTable()
 	}
+	return r
 }
 
 // L returns the configured Clist size.
 func (r *Resolver) L() int { return r.cfg.ClistSize }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. EntriesAlive is maintained
+// incrementally on insert/evict, so this is O(1) — it no longer rescans
+// the Clist.
 func (r *Resolver) Stats() Stats {
 	s := r.stats
-	s.EntriesAlive = 0
-	for _, e := range r.clist {
-		if e != nil && e.live {
-			s.EntriesAlive++
-		}
-	}
+	s.EntriesAlive = r.alive
 	return s
 }
 
 // Clients returns the number of clients currently tracked.
-func (r *Resolver) Clients() int { return len(r.clients) }
+func (r *Resolver) Clients() int {
+	if r.flat != nil {
+		return len(r.flat.clients)
+	}
+	return len(r.clients)
+}
 
 func (r *Resolver) newServerMap() serverMap {
-	if r.cfg.MapKind == MapOrdered {
-		return &orderedServerMap{}
-	}
-	return make(hashServerMap)
+	return &orderedServerMap{}
 }
 
 // Insert records one DNS response: clientIP asked for fqdn and received the
@@ -222,36 +419,12 @@ func (r *Resolver) Insert(clientIP netip.Addr, fqdn string, servers []netip.Addr
 	if fqdn == "" || len(servers) == 0 {
 		return
 	}
-	sm, ok := r.clients[clientIP]
-	if !ok {
-		sm = r.newServerMap()
-		r.clients[clientIP] = sm
-		if len(r.clients) > r.stats.ClientsPeak {
-			r.stats.ClientsPeak = len(r.clients)
-		}
-	}
 	entry := r.newEntry(fqdn, at)
 	r.reserveRefs(entry, len(servers))
-	for _, serverIP := range servers {
-		r.stats.Addresses++
-		if n, ok := sm.get(serverIP); ok {
-			// Replace the old reference (Algorithm 1, lines 11–15): the old
-			// entry loses this back-reference; optionally it is retained as
-			// history for LookupAll.
-			old := n.entry
-			old.removeRef(clientIP, serverIP)
-			r.stats.Replaced++
-			if r.cfg.History > 0 && old.FQDN != fqdn {
-				n.older = append([]*Entry{old}, n.older...)
-				if len(n.older) > r.cfg.History {
-					n.older = n.older[:r.cfg.History]
-				}
-			}
-			n.entry = entry
-		} else {
-			sm.put(serverIP, r.newNode(entry))
-		}
-		entry.refs = append(entry.refs, backref{client: clientIP, server: serverIP})
+	if r.flat != nil {
+		r.insertFlat(clientIP, entry, servers)
+	} else {
+		r.insertOrdered(clientIP, entry, servers)
 	}
 	// Recycle the next Clist slot (lines 22–25). While the list is still
 	// below capacity L, slots are appended — index order, exactly the order
@@ -270,8 +443,72 @@ func (r *Resolver) Insert(clientIP netip.Addr, fqdn string, servers []netip.Addr
 	}
 }
 
+// insertFlat links entry from every (clientIP, server) key in the flat
+// table (Algorithm 1, lines 5–21, MapHash mode).
+func (r *Resolver) insertFlat(clientIP netip.Addr, entry *Entry, servers []netip.Addr) {
+	ft := r.flat
+	hc := swiss.HashAddr(ft.seed, clientIP) // client half, shared across servers
+	for _, serverIP := range servers {
+		r.stats.Addresses++
+		h := swiss.HashAddr(hc, serverIP)
+		if slot := ft.find(h, clientIP, serverIP); slot != noSlot {
+			n := ft.at(slot)
+			// Replace the old reference (Algorithm 1, lines 11–15): the old
+			// entry loses this back-reference; optionally it is retained as
+			// history for LookupAll.
+			old := n.entry
+			old.removeRef(clientIP, serverIP)
+			r.stats.Replaced++
+			if r.cfg.History > 0 && old.FQDN != entry.FQDN {
+				n.older = append([]*Entry{old}, n.older...)
+				if len(n.older) > r.cfg.History {
+					n.older = n.older[:r.cfg.History]
+				}
+			}
+			n.entry = entry
+		} else {
+			ft.insert(h, clientIP, serverIP, entry)
+			if len(ft.clients) > r.stats.ClientsPeak {
+				r.stats.ClientsPeak = len(ft.clients)
+			}
+		}
+		entry.refs = append(entry.refs, backref{client: clientIP, server: serverIP})
+	}
+}
+
+// insertOrdered is insertFlat for the two-level MapOrdered structure.
+func (r *Resolver) insertOrdered(clientIP netip.Addr, entry *Entry, servers []netip.Addr) {
+	sm, ok := r.clients[clientIP]
+	if !ok {
+		sm = r.newServerMap()
+		r.clients[clientIP] = sm
+		if len(r.clients) > r.stats.ClientsPeak {
+			r.stats.ClientsPeak = len(r.clients)
+		}
+	}
+	for _, serverIP := range servers {
+		r.stats.Addresses++
+		if n, ok := sm.get(serverIP); ok {
+			old := n.entry
+			old.removeRef(clientIP, serverIP)
+			r.stats.Replaced++
+			if r.cfg.History > 0 && old.FQDN != entry.FQDN {
+				n.older = append([]*Entry{old}, n.older...)
+				if len(n.older) > r.cfg.History {
+					n.older = n.older[:r.cfg.History]
+				}
+			}
+			n.entry = entry
+		} else {
+			sm.put(serverIP, r.newNode(entry))
+		}
+		entry.refs = append(entry.refs, backref{client: clientIP, server: serverIP})
+	}
+}
+
 // newEntry takes an entry from the free list, or carves one from the slab.
 func (r *Resolver) newEntry(fqdn string, at time.Duration) *Entry {
+	r.alive++
 	if n := len(r.freeEntry); n > 0 {
 		e := r.freeEntry[n-1]
 		r.freeEntry = r.freeEntry[:n-1]
@@ -287,7 +524,8 @@ func (r *Resolver) newEntry(fqdn string, at time.Duration) *Entry {
 	return e
 }
 
-// newNode takes a node from the free list, or carves one from the slab.
+// newNode takes a node from the free list, or carves one from the slab
+// (MapOrdered mode; the flat table slab-allocates its own nodes).
 func (r *Resolver) newNode(e *Entry) *node {
 	if n := len(r.freeNode); n > 0 {
 		nd := r.freeNode[n-1]
@@ -323,6 +561,54 @@ func (r *Resolver) reserveRefs(e *Entry, n int) {
 // evict removes every map key still pointing at e.
 func (r *Resolver) evict(e *Entry) {
 	r.stats.Evictions++
+	if r.flat != nil {
+		r.evictFlat(e)
+	} else {
+		r.evictOrdered(e)
+	}
+	e.refs = e.refs[:0]
+	e.live = false
+	r.alive--
+	if r.cfg.History == 0 {
+		// With history enabled an evicted entry can still be referenced
+		// from another node's history list, so it must not be reused; the
+		// paper's default (no history) recycles it.
+		r.freeEntry = append(r.freeEntry, e)
+	} else {
+		e.refs = nil
+	}
+}
+
+func (r *Resolver) evictFlat(e *Entry) {
+	ft := r.flat
+	for _, ref := range e.refs {
+		slot := ft.find(ft.hash(ref.client, ref.server), ref.client, ref.server)
+		if slot == noSlot {
+			continue
+		}
+		n := ft.at(slot)
+		if n.entry == e {
+			// Promote history if any, else drop the key.
+			if len(n.older) > 0 {
+				n.entry = n.older[0]
+				n.older = n.older[1:]
+			} else {
+				ft.remove(slot)
+				r.stats.EvictedRefs++
+			}
+			continue
+		}
+		// e may live only in history.
+		for i, h := range n.older {
+			if h == e {
+				n.older = append(n.older[:i], n.older[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (r *Resolver) evictOrdered(e *Entry) {
 	for _, ref := range e.refs {
 		sm, ok := r.clients[ref.client]
 		if !ok {
@@ -333,7 +619,6 @@ func (r *Resolver) evict(e *Entry) {
 			continue
 		}
 		if n.entry == e {
-			// Promote history if any, else drop the key.
 			if len(n.older) > 0 {
 				n.entry = n.older[0]
 				n.older = n.older[1:]
@@ -348,23 +633,12 @@ func (r *Resolver) evict(e *Entry) {
 			}
 			continue
 		}
-		// e may live only in history.
 		for i, h := range n.older {
 			if h == e {
 				n.older = append(n.older[:i], n.older[i+1:]...)
 				break
 			}
 		}
-	}
-	e.refs = e.refs[:0]
-	e.live = false
-	if r.cfg.History == 0 {
-		// With history enabled an evicted entry can still be referenced
-		// from another node's history list, so it must not be reused; the
-		// paper's default (no history) recycles it.
-		r.freeEntry = append(r.freeEntry, e)
-	} else {
-		e.refs = nil
 	}
 }
 
@@ -389,9 +663,18 @@ func (r *Resolver) Lookup(clientIP, serverIP netip.Addr) (fqdn string, ok bool) 
 }
 
 // LookupEntry is Lookup but returns the whole entry (FQDN plus the time the
-// response was observed, used to measure first-flow delay, Fig. 12).
+// response was observed, used to measure first-flow delay, Fig. 12). In
+// MapHash mode this is a single flat-table probe.
 func (r *Resolver) LookupEntry(clientIP, serverIP netip.Addr) (*Entry, bool) {
 	r.stats.Lookups++
+	if ft := r.flat; ft != nil {
+		if slot := ft.find(ft.hash(clientIP, serverIP), clientIP, serverIP); slot != noSlot {
+			r.stats.Hits++
+			return ft.at(slot).entry, true
+		}
+		r.stats.Misses++
+		return nil, false
+	}
 	sm, ok := r.clients[clientIP]
 	if !ok {
 		r.stats.Misses++
@@ -406,16 +689,35 @@ func (r *Resolver) LookupEntry(clientIP, serverIP netip.Addr) (*Entry, bool) {
 	return n.entry, true
 }
 
-// LookupAll returns every FQDN currently associated with (clientIP,
-// serverIP), newest first. With Config.History == 0 this is at most one
-// name. The multi-label extension discussed in §6.
-func (r *Resolver) LookupAll(clientIP, serverIP netip.Addr) []string {
+// lookupNode returns the node for (clientIP, serverIP) without touching
+// the stats, or nil.
+func (r *Resolver) lookupNode(clientIP, serverIP netip.Addr) *node {
+	if ft := r.flat; ft != nil {
+		if slot := ft.find(ft.hash(clientIP, serverIP), clientIP, serverIP); slot != noSlot {
+			// pairNode and node share the entry/older shape; adapt via a
+			// value copy so LookupAll has one formatting path.
+			n := ft.at(slot)
+			return &node{entry: n.entry, older: n.older}
+		}
+		return nil
+	}
 	sm, ok := r.clients[clientIP]
 	if !ok {
 		return nil
 	}
 	n, ok := sm.get(serverIP)
 	if !ok {
+		return nil
+	}
+	return n
+}
+
+// LookupAll returns every FQDN currently associated with (clientIP,
+// serverIP), newest first. With Config.History == 0 this is at most one
+// name. The multi-label extension discussed in §6.
+func (r *Resolver) LookupAll(clientIP, serverIP netip.Addr) []string {
+	n := r.lookupNode(clientIP, serverIP)
+	if n == nil {
 		return nil
 	}
 	out := []string{n.entry.FQDN}

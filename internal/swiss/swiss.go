@@ -1,0 +1,111 @@
+// Package swiss holds the shared primitives of the repo's swiss-style
+// open-addressing hash tables: SWAR (SIMD-within-a-register) operations on
+// 8-slot control-byte groups, and the multiply-fold hash mixers the tables
+// key with.
+//
+// The layout follows the classic swiss-table design (Abseil's flat_hash_map,
+// and Go 1.24's own runtime maps): one control byte per slot — the low 7
+// bits of the hash for a full slot, a sentinel for empty/deleted — packed
+// eight to a uint64 "group" so a lookup probes eight slots with a handful
+// of 64-bit word operations and no per-slot branching. The tables built on
+// these helpers (internal/flows, internal/resolver) keep their keys in the
+// value slabs and store only uint32 slab indices in the buckets, so bucket
+// storage is pointer-free: the GC never scans it, and a probe touches a
+// dense ctrl word plus one 4-byte slot instead of chasing bucket pointers.
+//
+// Control-byte encoding (high bit set means "not full"):
+//
+//	0b0xxxxxxx  full    (low 7 bits of the key's hash, "h2")
+//	0b10000000  empty   (never been used, terminates probe sequences)
+//	0b11111110  deleted (tombstone; probe sequences continue past it)
+package swiss
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"net/netip"
+)
+
+// GroupSize is the number of slots per control word.
+const GroupSize = 8
+
+// Control byte sentinels.
+const (
+	CtrlEmpty   uint8 = 0b1000_0000
+	CtrlDeleted uint8 = 0b1111_1110
+)
+
+// EmptyGroup is a control word of eight empty slots.
+const EmptyGroup uint64 = 0x8080808080808080
+
+const (
+	loBits uint64 = 0x0101010101010101
+	hiBits uint64 = 0x8080808080808080
+)
+
+// H1 is the probe-sequence part of a hash (group selection).
+func H1(h uint64) uint64 { return h >> 7 }
+
+// H2 is the control-byte part of a hash (low 7 bits).
+func H2(h uint64) uint8 { return uint8(h) & 0x7F }
+
+// MatchH2 returns a mask with bit 8i+7 set for every full lane i of g whose
+// control byte equals h2. The SWAR subtraction trick can set a false
+// positive on the lane above a true match — callers verify candidates by
+// comparing keys, so a false positive costs one wasted compare and a false
+// negative never occurs.
+func MatchH2(g uint64, h2 uint8) uint64 {
+	x := g ^ (loBits * uint64(h2))
+	return (x - loBits) &^ x & hiBits
+}
+
+// MatchEmpty returns a mask of the empty lanes of g (exact: bit 7 set and
+// bit 6 clear singles out CtrlEmpty among the sentinels).
+func MatchEmpty(g uint64) uint64 { return g &^ (g << 1) & hiBits }
+
+// MatchFree returns a mask of the empty-or-deleted lanes of g (any lane
+// with the high control bit set).
+func MatchFree(g uint64) uint64 { return g & hiBits }
+
+// FirstLane returns the lane index (0..7) of the lowest set bit of a match
+// mask. Iterate a mask with `for ; m != 0; m &= m - 1`.
+func FirstLane(m uint64) int { return bits.TrailingZeros64(m) >> 3 }
+
+// CtrlAt extracts lane's control byte from g.
+func CtrlAt(g uint64, lane int) uint8 { return uint8(g >> (uint(lane) * 8)) }
+
+// WithCtrl returns g with lane's control byte replaced by c.
+func WithCtrl(g uint64, lane int, c uint8) uint64 {
+	sh := uint(lane) * 8
+	return g&^(uint64(0xFF)<<sh) | uint64(c)<<sh
+}
+
+// IsFull reports whether a control byte marks a full slot.
+func IsFull(c uint8) bool { return c&0x80 == 0 }
+
+// Hash mixing constants (splitmix64 / wyhash lineage).
+const (
+	k0 uint64 = 0x9E3779B97F4A7C15
+	k1 uint64 = 0xD6E8FEB86659FD93
+)
+
+// Mix folds a 64x64→128-bit multiply into 64 bits; the core of the wyhash
+// family and far cheaper than iterating FNV over the key bytes.
+func Mix(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+// HashU64 mixes one 64-bit word into a running hash.
+func HashU64(seed, v uint64) uint64 { return Mix(seed^v, k0) }
+
+// HashAddr mixes an address into a running hash, reading it as two 64-bit
+// words of its 16-byte form. IPv4 and 4-in-6 forms of the same address hash
+// identically (they compare unequal, so this is merely a collision), and
+// zones are ignored for the same reason.
+func HashAddr(seed uint64, a netip.Addr) uint64 {
+	b := a.As16()
+	lo := binary.LittleEndian.Uint64(b[0:8])
+	hi := binary.LittleEndian.Uint64(b[8:16])
+	return Mix(seed^lo, hi^k1)
+}
