@@ -47,6 +47,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -169,7 +170,7 @@ func main() {
 	}
 
 	if *update {
-		for name := range base.Benchmarks {
+		for _, name := range sortedNames(base.Benchmarks) {
 			got, ok := observed[name]
 			if !ok {
 				log.Fatalf("baseline benchmark %q missing from input", name)
@@ -217,7 +218,8 @@ func main() {
 			log.Printf("ok   %s: %.0f %s (baseline %.0f)", name, got, unit, budget)
 		}
 	}
-	for name, budget := range base.Benchmarks {
+	for _, name := range sortedNames(base.Benchmarks) {
+		budget := base.Benchmarks[name]
 		got, ok := observed[name]
 		if !ok {
 			log.Printf("FAIL %s: tracked by baseline but missing from input", name)
@@ -255,8 +257,9 @@ func main() {
 			}
 		}
 	}
-	for name, got := range observed {
+	for _, name := range sortedNames(observed) {
 		if _, ok := base.Benchmarks[name]; !ok {
+			got := observed[name]
 			log.Printf("skip %s: %.0f allocs/op, %.0f ns/op, %.0f B/op (not tracked)", name, got.allocs, got.ns, got.bytes)
 		}
 	}
@@ -393,6 +396,17 @@ func parseBench(f *os.File) (map[string]observation, error) {
 		out[name] = obs
 	}
 	return out, sc.Err()
+}
+
+// sortedNames returns the map's keys in sorted order, so report lines
+// come out deterministically run over run.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // normalizeName strips the trailing -GOMAXPROCS suffix go test appends, so

@@ -1,0 +1,240 @@
+// Command dnlint runs the project's static-analysis suite (hotalloc,
+// maprange, slabref, atomicfield — see internal/lint).
+//
+// Standalone:
+//
+//	go run ./cmd/dnlint ./...
+//	go run ./cmd/dnlint -list-directives ./...   # suppression inventory
+//
+// As a vet tool (unit-checker protocol: -V=full, -flags, and per-package
+// .cfg files, so results integrate with go vet's build cache):
+//
+//	go build -o dnlint ./cmd/dnlint
+//	go vet -vettool=$(pwd)/dnlint ./...
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnlint: ")
+	args := os.Args[1:]
+
+	// go vet tool protocol, in the order the go command probes it.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		printVersion(args[0])
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0])
+		return
+	}
+
+	listOnly := false
+	if len(args) > 0 && args[0] == "-list-directives" {
+		listOnly = true
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	runStandalone(listOnly, args)
+}
+
+// printVersion implements -V=full: the go command hashes this line into
+// its build cache key, so it must change whenever the binary does.
+func printVersion(arg string) {
+	if arg != "-V=full" {
+		log.Fatalf("unsupported flag %q", arg)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// diag is one finding, position-resolved for sorting and printing.
+type diag struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func runPackage(pkg *analysis.Package) []diag {
+	var diags []diag
+	for _, a := range lint.Analyzers {
+		report := func(d analysis.Diagnostic) {
+			diags = append(diags, diag{pkg.Fset.Position(d.Pos), a.Name, d.Message})
+		}
+		if err := a.Run(pkg.Pass(a, report)); err != nil {
+			log.Fatalf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+func printDiags(w io.Writer, diags []diag) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", d.pos, d.message, d.analyzer)
+	}
+}
+
+// runStandalone loads packages through `go list -export` and analyzes
+// them all in one process.
+func runStandalone(listOnly bool, patterns []string) {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if listOnly {
+		for _, pkg := range pkgs {
+			for _, d := range lint.ListDirectives(pkg) {
+				fmt.Printf("%s:%d: dnhunter:%s %s\n", d.Pos.Filename, d.Pos.Line, d.Name, d.Reason)
+			}
+		}
+		return
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags := runPackage(pkg)
+		printDiags(os.Stdout, diags)
+		if len(diags) > 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// vetConfig is the .cfg file the go command hands each vet tool
+// invocation (one compilation unit per call).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit under go vet. Diagnostics go to
+// stderr and flip the exit status; the (empty — dnlint passes no facts
+// between packages) vetx output must exist for the go command's cache.
+func runUnit(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("dnlint\n"), 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	imp := analysis.NewExportImporter(fset, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}, cfg.ImportMap)
+	info := analysis.NewInfo()
+	sizes := types.SizesFor(cfg.Compiler, runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	conf := types.Config{Importer: imp, Sizes: sizes}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		log.Fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Sizes: sizes,
+	}
+	diags := runPackage(pkg)
+	printDiags(os.Stderr, diags)
+	writeVetx()
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

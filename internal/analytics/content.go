@@ -1,7 +1,6 @@
 package analytics
 
 import (
-	"math"
 	"net/netip"
 	"sort"
 
@@ -56,12 +55,9 @@ func ContentDiscovery(db *flowdb.DB, servers []netip.Addr, g Granularity, k int)
 		}
 	}
 	out := make([]ContentShare, 0, len(flowsPer))
+	//dnhunter:unordered-ok rows are fully sorted below before use
 	for name, n := range flowsPer {
-		score := 0.0
-		for _, c := range perClient[name] {
-			score += math.Log(float64(c) + 1)
-		}
-		cs := ContentShare{Name: name, Flows: n, Score: score}
+		cs := ContentShare{Name: name, Flows: n, Score: logScore(perClient[name])}
 		if total > 0 {
 			cs.Share = float64(n) / float64(total)
 		}
@@ -118,6 +114,7 @@ func FanoutCDFs(db *flowdb.DB) (ipsPerFQDN, fqdnsPerIP *stats.CDF) {
 		}
 		m[f.Label] = struct{}{}
 	}
+	//dnhunter:unordered-ok CDF sorts its samples before any read, so insertion order is immaterial
 	for _, names := range perServer {
 		fqdnsPerIP.Add(float64(len(names)))
 	}

@@ -1,0 +1,23 @@
+package analytics
+
+import (
+	"math"
+	"sort"
+)
+
+// logScore sums log(c+1) over the map's values in sorted order. Float
+// addition is not associative, so summing in map iteration order would
+// perturb the low bits run over run; sorting the counts first makes the
+// score byte-reproducible.
+func logScore[K comparable](counts map[K]int) float64 {
+	vals := make([]int, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	sort.Ints(vals)
+	score := 0.0
+	for _, c := range vals {
+		score += math.Log(float64(c) + 1)
+	}
+	return score
+}

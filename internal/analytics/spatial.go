@@ -64,6 +64,7 @@ func SpatialDiscovery(db *flowdb.DB, odb *orgdb.DB, name string) *SpatialResult 
 	for _, fqdn := range db.FQDNsOfSLD(sld) {
 		res.PerFQDN[fqdn] = db.ServersOfFQDN(fqdn)
 	}
+	//dnhunter:unordered-ok rows are fully sorted below before use
 	for org, a := range byOrg {
 		hs := HostShare{Org: org, Servers: len(a.servers), Flows: a.flows}
 		if res.TotalFlows > 0 {
@@ -153,6 +154,7 @@ func (n *TreeNode) sortRec() {
 // DominantOrg returns the hosting org carrying most of the node's flows.
 func (n *TreeNode) DominantOrg() string {
 	best, bestN := "", -1
+	//dnhunter:unordered-ok argmax with a total tie-break on org name; any order yields the same winner
 	for org, c := range n.Orgs {
 		if c > bestN || (c == bestN && org < best) {
 			best, bestN = org, c
@@ -245,6 +247,7 @@ func ProviderUsage(vantages []VantageData, k int) *ProviderFootprint {
 		pf.LabeledFlows[v.Name] = labeled
 		share := make(map[string]float64, len(flowsPer))
 		srv := make(map[string]int, len(servers))
+		//dnhunter:unordered-ok keyed map writes only; shares and counts land in maps
 		for org, n := range flowsPer {
 			if labeled > 0 {
 				share[org] = float64(n) / float64(labeled)
@@ -349,6 +352,7 @@ func jaccard[K comparable](a, b map[K]struct{}) float64 {
 		return 1
 	}
 	inter := 0
+	//dnhunter:unordered-ok integer intersection count; addition is order-free
 	for k := range a {
 		if _, ok := b[k]; ok {
 			inter++
@@ -408,6 +412,7 @@ type Heatmap struct {
 func BuildHeatmap(sld, self string, perTrace map[string]*SpatialResult) *Heatmap {
 	h := &Heatmap{SLD: sld, Rows: make(map[string]map[string]float64)}
 	set := map[string]struct{}{}
+	//dnhunter:unordered-ok keyed copy per trace; row totals do not depend on trace order
 	for trace, res := range perTrace {
 		row := make(map[string]float64)
 		for _, hs := range res.Hosts {

@@ -7,7 +7,6 @@ package analytics
 
 import (
 	"fmt"
-	"math"
 	"net/netip"
 	"sort"
 	"strings"
@@ -48,12 +47,9 @@ func ExtractTags(db *flowdb.DB, dPort uint16, k int) []TagScore {
 		}
 	}
 	out := make([]TagScore, 0, len(perClient))
+	//dnhunter:unordered-ok rows are fully sorted below before use
 	for tok, clients := range perClient {
-		score := 0.0
-		for _, n := range clients {
-			score += math.Log(float64(n) + 1)
-		}
-		out = append(out, TagScore{Token: tok, Score: score, Flows: flowsPerToken[tok]})
+		out = append(out, TagScore{Token: tok, Score: logScore(clients), Flows: flowsPerToken[tok]})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -130,12 +126,9 @@ func TagCloud(recs []flowdb.LabeledFlow, sld string, k int) []TagScore {
 		flowsPer[tok]++
 	}
 	out := make([]TagScore, 0, len(perClient))
+	//dnhunter:unordered-ok rows are fully sorted below before use
 	for tok, clients := range perClient {
-		score := 0.0
-		for _, n := range clients {
-			score += math.Log(float64(n) + 1)
-		}
-		out = append(out, TagScore{Token: tok, Score: score, Flows: flowsPer[tok]})
+		out = append(out, TagScore{Token: tok, Score: logScore(clients), Flows: flowsPer[tok]})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {

@@ -208,6 +208,8 @@ func (h *DNHunter) Run(src netio.PacketSource) error {
 }
 
 // HandlePacket feeds one packet through the pipeline (streaming use).
+//
+//dnhunter:hotpath
 func (h *DNHunter) HandlePacket(pkt netio.Packet) {
 	info, err := h.parser.Parse(pkt.Data)
 	if err != nil {

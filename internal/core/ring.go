@@ -35,7 +35,11 @@ const (
 // shardEntry is one pre-parsed unit of shard work. The dispatcher has
 // already parsed the frame, extracted and oriented the flow key, and
 // decided the direction, so the shard touches only its own flow table and
-// resolver — no re-parse, no re-orient.
+// resolver — no re-parse, no re-orient. Entries live in slot arenas that
+// are recycled on release, so a *shardEntry must never outlive the batch
+// it was delivered in.
+//
+//dnhunter:slab
 type shardEntry struct {
 	at  time.Duration
 	key flows.Key // entryFlow/entryExpire: oriented flow key; entryDNS: ClientIP holds the attribution client (packet DstIP)
@@ -83,6 +87,8 @@ type cacheLinePad [64]byte
 // spscRing is the bounded single-producer/single-consumer slot ring.
 // Exactly one goroutine may call producer methods (slot, publish, close)
 // and exactly one may call consumer methods (consume, release).
+//
+//dnhunter:hotatomic
 type spscRing struct {
 	slots []ringSlot
 	mask  uint64
@@ -154,7 +160,9 @@ func (r *spscRing) slot() *ringSlot {
 		}
 		s := &r.slots[h&r.mask]
 		if s.entries == nil {
+			//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
 			s.entries = make([]shardEntry, 0, r.batch)
+			//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
 			s.buf = make([]byte, 0, r.bufCap)
 		}
 		s.entries = s.entries[:0]

@@ -83,6 +83,8 @@ type shardWorker struct {
 // run drains ring slots until the ring closes, then flushes the shard's
 // flow table. When abort is set (cancellation) it keeps consuming so the
 // dispatcher never blocks on a full ring, but stops processing.
+//
+//dnhunter:hotpath
 func (w *shardWorker) run(wg *sync.WaitGroup, abort *atomic.Bool) {
 	defer wg.Done()
 	for {
@@ -252,6 +254,8 @@ func (d *dispatcher) shardOf(client netip.Addr) uint32 {
 // dispatch parses one frame and routes it. Mirrors DNHunter.HandlePacket's
 // branching exactly: parse failures are only counted, UDP port-53 traffic
 // goes to the DNS path, everything else to the flow path.
+//
+//dnhunter:hotpath
 func (d *dispatcher) dispatch(pkt netio.Packet) {
 	dec, err := d.parser.Parse(pkt.Data)
 	if err != nil {

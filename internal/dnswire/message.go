@@ -164,6 +164,7 @@ func (m *Message) internName(b []byte) string {
 	if m.intern != nil {
 		return m.intern.Intern(b)
 	}
+	//dnhunter:alloc-ok fallback when no interner is attached (tests, one-shot decodes)
 	return string(b)
 }
 
@@ -308,10 +309,27 @@ func appendRecord(buf []byte, r *Record, table map[string]int) ([]byte, error) {
 	return buf, nil
 }
 
+// Pre-wrapped errors for the decode path: Unpack runs per captured packet,
+// so rejecting a malformed message must not allocate. Callers match with
+// errors.Is against the sentinels in name.go.
+var (
+	errHeaderTruncated   = fmt.Errorf("%w: header", ErrTruncatedMsg)
+	errQuestionTruncated = fmt.Errorf("%w: question fixed part", ErrTruncatedMsg)
+	errRRTruncated       = fmt.Errorf("%w: RR fixed part", ErrTruncatedMsg)
+	errRDataTruncated    = fmt.Errorf("%w: RDATA", ErrTruncatedMsg)
+	errBadALen           = fmt.Errorf("%w: bad A RDLENGTH", ErrBadRecord)
+	errBadAAAALen        = fmt.Errorf("%w: bad AAAA RDLENGTH", ErrBadRecord)
+	errBadMXLen          = fmt.Errorf("%w: bad MX RDLENGTH", ErrBadRecord)
+	errBadTXTChunk       = fmt.Errorf("%w: TXT chunk", ErrBadRecord)
+	errBadSRVLen         = fmt.Errorf("%w: bad SRV RDLENGTH", ErrBadRecord)
+)
+
 // Unpack parses a whole DNS message.
+//
+//dnhunter:hotpath
 func (m *Message) Unpack(msg []byte) error {
 	if len(msg) < 12 {
-		return fmt.Errorf("%w: %d bytes", ErrTruncatedMsg, len(msg))
+		return errHeaderTruncated
 	}
 	m.Header.ID = binary.BigEndian.Uint16(msg[0:2])
 	flags := binary.BigEndian.Uint16(msg[2:4])
@@ -337,7 +355,7 @@ func (m *Message) Unpack(msg []byte) error {
 			return err
 		}
 		if off+4 > len(msg) {
-			return fmt.Errorf("%w: question fixed part", ErrTruncatedMsg)
+			return errQuestionTruncated
 		}
 		q.Type = Type(binary.BigEndian.Uint16(msg[off : off+2]))
 		q.Class = Class(binary.BigEndian.Uint16(msg[off+2 : off+4]))
@@ -365,7 +383,7 @@ func (m *Message) readRecords(msg []byte, off, n int, dst []Record) ([]Record, i
 			return dst, off, err
 		}
 		if off+10 > len(msg) {
-			return dst, off, fmt.Errorf("%w: RR fixed part", ErrTruncatedMsg)
+			return dst, off, errRRTruncated
 		}
 		r.Type = Type(binary.BigEndian.Uint16(msg[off : off+2]))
 		r.Class = Class(binary.BigEndian.Uint16(msg[off+2 : off+4]))
@@ -373,20 +391,20 @@ func (m *Message) readRecords(msg []byte, off, n int, dst []Record) ([]Record, i
 		rdlen := int(binary.BigEndian.Uint16(msg[off+8 : off+10]))
 		off += 10
 		if off+rdlen > len(msg) {
-			return dst, off, fmt.Errorf("%w: RDATA", ErrTruncatedMsg)
+			return dst, off, errRDataTruncated
 		}
 		rdata := msg[off : off+rdlen]
 		switch r.Type {
 		case TypeA:
 			if rdlen != 4 {
-				return dst, off, fmt.Errorf("%w: A RDLENGTH %d", ErrBadRecord, rdlen)
+				return dst, off, errBadALen
 			}
 			var a [4]byte
 			copy(a[:], rdata)
 			r.Addr = netip.AddrFrom4(a)
 		case TypeAAAA:
 			if rdlen != 16 {
-				return dst, off, fmt.Errorf("%w: AAAA RDLENGTH %d", ErrBadRecord, rdlen)
+				return dst, off, errBadAAAALen
 			}
 			var a [16]byte
 			copy(a[:], rdata)
@@ -398,7 +416,7 @@ func (m *Message) readRecords(msg []byte, off, n int, dst []Record) ([]Record, i
 			}
 		case TypeMX:
 			if rdlen < 3 {
-				return dst, off, fmt.Errorf("%w: MX RDLENGTH %d", ErrBadRecord, rdlen)
+				return dst, off, errBadMXLen
 			}
 			r.Pref = binary.BigEndian.Uint16(rdata[0:2])
 			r.Target, _, err = m.readNameAt(msg, off+2)
@@ -411,14 +429,14 @@ func (m *Message) readRecords(msg []byte, off, n int, dst []Record) ([]Record, i
 			for p := 0; p < rdlen; {
 				l := int(rdata[p])
 				if p+1+l > rdlen {
-					return dst, off, fmt.Errorf("%w: TXT chunk", ErrBadRecord)
+					return dst, off, errBadTXTChunk
 				}
 				p += 1 + l
 			}
 			r.Data = rdata
 		case TypeSRV:
 			if rdlen < 7 {
-				return dst, off, fmt.Errorf("%w: SRV RDLENGTH %d", ErrBadRecord, rdlen)
+				return dst, off, errBadSRVLen
 			}
 			r.Priority = binary.BigEndian.Uint16(rdata[0:2])
 			r.Weight = binary.BigEndian.Uint16(rdata[2:4])

@@ -68,6 +68,14 @@ func appendName(msg []byte, name string, table map[string]int) ([]byte, error) {
 // 2-byte pointer itself). Decoding into a caller-owned scratch buffer is the
 // allocation-free core of the sniffer's DNS path; Message.readNameAt wraps
 // it with the reusable scratch buffer and intern table.
+var (
+	errNamePastEnd     = fmt.Errorf("%w: name runs past message", ErrTruncatedMsg)
+	errDanglingPointer = fmt.Errorf("%w: dangling pointer", ErrTruncatedMsg)
+	errReservedLabel   = fmt.Errorf("%w: reserved label type", ErrBadName)
+	errLabelPastEnd    = fmt.Errorf("%w: label runs past message", ErrTruncatedMsg)
+	errNameTooLong     = fmt.Errorf("%w: name too long", ErrBadName)
+)
+
 func appendNameAt(msg []byte, off int, dst []byte) ([]byte, int, error) {
 	mark := len(dst)
 	cursor := off
@@ -76,7 +84,7 @@ func appendNameAt(msg []byte, off int, dst []byte) ([]byte, int, error) {
 	total := 0
 	for {
 		if cursor >= len(msg) {
-			return dst[:mark], 0, fmt.Errorf("%w: name runs past message", ErrTruncatedMsg)
+			return dst[:mark], 0, errNamePastEnd
 		}
 		c := msg[cursor]
 		switch {
@@ -87,7 +95,7 @@ func appendNameAt(msg []byte, off int, dst []byte) ([]byte, int, error) {
 			return dst, end, nil
 		case c&0xc0 == 0xc0:
 			if cursor+1 >= len(msg) {
-				return dst[:mark], 0, fmt.Errorf("%w: dangling pointer", ErrTruncatedMsg)
+				return dst[:mark], 0, errDanglingPointer
 			}
 			ptr := int(c&0x3f)<<8 | int(msg[cursor+1])
 			if end < 0 {
@@ -101,15 +109,15 @@ func appendNameAt(msg []byte, off int, dst []byte) ([]byte, int, error) {
 			}
 			cursor = ptr
 		case c&0xc0 != 0:
-			return dst[:mark], 0, fmt.Errorf("%w: reserved label type %#02x", ErrBadName, c&0xc0)
+			return dst[:mark], 0, errReservedLabel
 		default:
 			l := int(c)
 			if cursor+1+l > len(msg) {
-				return dst[:mark], 0, fmt.Errorf("%w: label runs past message", ErrTruncatedMsg)
+				return dst[:mark], 0, errLabelPastEnd
 			}
 			total += l + 1
 			if total > maxNameLen {
-				return dst[:mark], 0, fmt.Errorf("%w: name exceeds %d bytes", ErrBadName, maxNameLen)
+				return dst[:mark], 0, errNameTooLong
 			}
 			if len(dst) > mark {
 				dst = append(dst, '.')

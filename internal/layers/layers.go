@@ -59,6 +59,30 @@ var (
 	ErrBadHeader = errors.New("layers: malformed header")
 )
 
+// Pre-wrapped per-site errors: decoders run on the sniffer hot path where a
+// malformed frame must not cost an allocation, so each failure site returns
+// a static error instead of building one with fmt.Errorf. Callers match with
+// errors.Is against the sentinels above.
+var (
+	errEthTruncated  = fmt.Errorf("ethernet: %w", ErrTruncated)
+	errIPv4Truncated = fmt.Errorf("ipv4: %w", ErrTruncated)
+	errIPv4Version   = fmt.Errorf("ipv4: %w: bad version", ErrBadHeader)
+	errIPv4IHL       = fmt.Errorf("ipv4: %w: bad IHL", ErrBadHeader)
+	errIPv4Length    = fmt.Errorf("ipv4: %w: total length beyond frame", ErrTruncated)
+	errIPv4Addr      = fmt.Errorf("ipv4: %w: non-IPv4 address", ErrBadHeader)
+	errIPv4Payload   = fmt.Errorf("ipv4: %w: payload too large", ErrBadHeader)
+	errIPv6Truncated = fmt.Errorf("ipv6: %w", ErrTruncated)
+	errIPv6Version   = fmt.Errorf("ipv6: %w: bad version", ErrBadHeader)
+	errIPv6Length    = fmt.Errorf("ipv6: %w: payload length beyond frame", ErrTruncated)
+	errIPv6Addr      = fmt.Errorf("ipv6: %w: non-IPv6 address", ErrBadHeader)
+	errIPv6Payload   = fmt.Errorf("ipv6: %w: payload too large", ErrBadHeader)
+	errTCPTruncated  = fmt.Errorf("tcp: %w", ErrTruncated)
+	errTCPOffset     = fmt.Errorf("tcp: %w: bad data offset", ErrBadHeader)
+	errUDPTruncated  = fmt.Errorf("udp: %w", ErrTruncated)
+	errUDPLength     = fmt.Errorf("udp: %w: length beyond datagram", ErrTruncated)
+	errUDPPayload    = fmt.Errorf("udp: %w: payload too large", ErrBadHeader)
+)
+
 // MACAddr is a 6-byte Ethernet hardware address.
 type MACAddr [6]byte
 
@@ -83,7 +107,7 @@ const EthernetHeaderLen = 14
 // data; callers that retain it across packets must copy.
 func (e *Ethernet) DecodeFromBytes(data []byte) error {
 	if len(data) < EthernetHeaderLen {
-		return fmt.Errorf("ethernet: %w (%d bytes)", ErrTruncated, len(data))
+		return errEthTruncated
 	}
 	copy(e.Dst[:], data[0:6])
 	copy(e.Src[:], data[6:12])
@@ -123,18 +147,18 @@ const IPv4HeaderLen = 20
 // length and the header checksum.
 func (ip *IPv4) DecodeFromBytes(data []byte) error {
 	if len(data) < IPv4HeaderLen {
-		return fmt.Errorf("ipv4: %w (%d bytes)", ErrTruncated, len(data))
+		return errIPv4Truncated
 	}
 	if v := data[0] >> 4; v != 4 {
-		return fmt.Errorf("ipv4: %w: version %d", ErrBadHeader, v)
+		return errIPv4Version
 	}
 	ihl := int(data[0]&0x0f) * 4
 	if ihl < IPv4HeaderLen || ihl > len(data) {
-		return fmt.Errorf("ipv4: %w: IHL %d", ErrBadHeader, ihl)
+		return errIPv4IHL
 	}
 	total := int(binary.BigEndian.Uint16(data[2:4]))
 	if total < ihl || total > len(data) {
-		return fmt.Errorf("ipv4: %w: total length %d of %d", ErrTruncated, total, len(data))
+		return errIPv4Length
 	}
 	ip.TOS = data[1]
 	ip.ID = binary.BigEndian.Uint16(data[4:6])
@@ -157,11 +181,11 @@ func (ip *IPv4) DecodeFromBytes(data []byte) error {
 // payload onto b. Src and Dst must be IPv4 addresses.
 func (ip *IPv4) AppendTo(b []byte, payload []byte) ([]byte, error) {
 	if !ip.Src.Is4() || !ip.Dst.Is4() {
-		return b, fmt.Errorf("ipv4: %w: non-IPv4 address", ErrBadHeader)
+		return b, errIPv4Addr
 	}
 	total := IPv4HeaderLen + len(payload)
 	if total > 0xffff {
-		return b, fmt.Errorf("ipv4: %w: payload too large (%d)", ErrBadHeader, len(payload))
+		return b, errIPv4Payload
 	}
 	start := len(b)
 	b = append(b, 0x45, ip.TOS)
@@ -199,10 +223,10 @@ const IPv6HeaderLen = 40
 // DecodeFromBytes parses the fixed IPv6 header.
 func (ip *IPv6) DecodeFromBytes(data []byte) error {
 	if len(data) < IPv6HeaderLen {
-		return fmt.Errorf("ipv6: %w (%d bytes)", ErrTruncated, len(data))
+		return errIPv6Truncated
 	}
 	if v := data[0] >> 4; v != 6 {
-		return fmt.Errorf("ipv6: %w: version %d", ErrBadHeader, v)
+		return errIPv6Version
 	}
 	ip.TrafficClass = data[0]<<4 | data[1]>>4
 	ip.FlowLabel = binary.BigEndian.Uint32(data[0:4]) & 0x000fffff
@@ -215,7 +239,7 @@ func (ip *IPv6) DecodeFromBytes(data []byte) error {
 	ip.Src = netip.AddrFrom16(src)
 	ip.Dst = netip.AddrFrom16(dst)
 	if IPv6HeaderLen+plen > len(data) {
-		return fmt.Errorf("ipv6: %w: payload length %d of %d", ErrTruncated, plen, len(data)-IPv6HeaderLen)
+		return errIPv6Length
 	}
 	ip.Payload = data[IPv6HeaderLen : IPv6HeaderLen+plen]
 	return nil
@@ -225,10 +249,10 @@ func (ip *IPv6) DecodeFromBytes(data []byte) error {
 // Src and Dst must be IPv6 addresses.
 func (ip *IPv6) AppendTo(b []byte, payload []byte) ([]byte, error) {
 	if !ip.Src.Is6() || ip.Src.Is4In6() || !ip.Dst.Is6() || ip.Dst.Is4In6() {
-		return b, fmt.Errorf("ipv6: %w: non-IPv6 address", ErrBadHeader)
+		return b, errIPv6Addr
 	}
 	if len(payload) > 0xffff {
-		return b, fmt.Errorf("ipv6: %w: payload too large", ErrBadHeader)
+		return b, errIPv6Payload
 	}
 	w0 := uint32(6)<<28 | uint32(ip.TrafficClass)<<20 | ip.FlowLabel&0x000fffff
 	b = binary.BigEndian.AppendUint32(b, w0)

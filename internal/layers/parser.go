@@ -56,6 +56,8 @@ func (s *ParserStats) Add(o ParserStats) {
 
 // Parse decodes one Ethernet frame. On success Info is valid until the next
 // call. Unsupported-but-well-formed frames (ARP, ICMP) return ErrUnhandled.
+//
+//dnhunter:hotpath
 func (p *Parser) Parse(frame []byte) (*Decoded, error) {
 	p.Stats.Frames++
 	p.Info = Decoded{}

@@ -2,7 +2,6 @@ package layers
 
 import (
 	"encoding/binary"
-	"fmt"
 	"net/netip"
 )
 
@@ -58,11 +57,11 @@ const TCPHeaderLen = 20
 // DecodeFromBytes parses a TCP header.
 func (t *TCP) DecodeFromBytes(data []byte) error {
 	if len(data) < TCPHeaderLen {
-		return fmt.Errorf("tcp: %w (%d bytes)", ErrTruncated, len(data))
+		return errTCPTruncated
 	}
 	off := int(data[12]>>4) * 4
 	if off < TCPHeaderLen || off > len(data) {
-		return fmt.Errorf("tcp: %w: data offset %d", ErrBadHeader, off)
+		return errTCPOffset
 	}
 	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
 	t.DstPort = binary.BigEndian.Uint16(data[2:4])
@@ -116,11 +115,11 @@ const UDPHeaderLen = 8
 // DecodeFromBytes parses a UDP header.
 func (u *UDP) DecodeFromBytes(data []byte) error {
 	if len(data) < UDPHeaderLen {
-		return fmt.Errorf("udp: %w (%d bytes)", ErrTruncated, len(data))
+		return errUDPTruncated
 	}
 	length := int(binary.BigEndian.Uint16(data[4:6]))
 	if length < UDPHeaderLen || length > len(data) {
-		return fmt.Errorf("udp: %w: length %d of %d", ErrTruncated, length, len(data))
+		return errUDPLength
 	}
 	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
 	u.DstPort = binary.BigEndian.Uint16(data[2:4])
@@ -132,7 +131,7 @@ func (u *UDP) DecodeFromBytes(data []byte) error {
 func (u *UDP) AppendTo(b []byte, payload []byte, src, dst netip.Addr) ([]byte, error) {
 	length := UDPHeaderLen + len(payload)
 	if length > 0xffff {
-		return b, fmt.Errorf("udp: %w: payload too large", ErrBadHeader)
+		return b, errUDPPayload
 	}
 	start := len(b)
 	b = binary.BigEndian.AppendUint16(b, u.SrcPort)

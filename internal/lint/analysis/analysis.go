@@ -1,0 +1,71 @@
+// Package analysis is a self-contained miniature of
+// golang.org/x/tools/go/analysis: just enough surface (Analyzer, Pass,
+// Diagnostic) for the project's dnlint analyzers to be written in the
+// standard modular style, without pulling the x/tools module into the
+// build. The shapes mirror x/tools deliberately, so migrating the
+// analyzers onto the real framework is a mechanical import swap.
+//
+// Two drivers exist: Load (load.go) builds whole-module passes for the
+// standalone dnlint binary and the in-repo self-check test, and
+// cmd/dnlint's unit mode speaks the `go vet -vettool` protocol, building
+// one Pass per compilation unit from the vet config file.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects a single package via
+// the Pass and reports findings through pass.Report; analyzers must be
+// modular (no state shared across packages beyond source annotations).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives; it must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by dnlint -help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the analysis of a single package: its syntax, its type
+// information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and object resolutions for Files.
+	TypesInfo *types.Info
+	// TypesSizes gives the target platform's layout rules (field offsets
+	// for the atomicfield padding check).
+	TypesSizes types.Sizes
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The analyzers
+// skip test files so that findings are identical between the standalone
+// loader (which feeds non-test files only) and `go vet -vettool` (which
+// also type-checks the test variants of each package).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkParents traverses root, invoking fn with each node and the stack
+// of its ancestors (nearest last). Returning false skips the subtree.
+func walkParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Subtree skipped: Inspect sends no closing nil for it, so
+			// the node must not be pushed.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// staticCallee resolves the *types.Func a call statically invokes, or
+// nil for indirect calls (func values, interface methods) and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// exprPath renders an lvalue-ish expression as a dotted path anchored at
+// its root object ("h.addrs", "t.free"), ignoring index and slice
+// operations ("h.addrs[:0]" → "h.addrs"). It returns "" when the
+// expression has no identifier root (literals, call results, nil).
+func exprPath(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return e.Name
+		}
+		return ""
+	case *ast.SelectorExpr:
+		base := exprPath(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprPath(info, e.X)
+	case *ast.SliceExpr:
+		return exprPath(info, e.X)
+	case *ast.StarExpr:
+		return exprPath(info, e.X)
+	}
+	return ""
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pkgPathOf returns the package path of a function, or "".
+func pkgPathOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// sanitizedPkgPath strips go vet's test-variant suffix
+// ("repro/internal/flows [repro/internal/flows.test]" → base path) so
+// package-scoped rules behave identically under both drivers.
+func sanitizedPkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

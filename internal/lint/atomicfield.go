@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// AtomicField guards the two atomic-hygiene rules the SPSC ring depends
+// on:
+//
+//  1. A struct field accessed through sync/atomic functions anywhere in
+//     the package must never also be read or written plainly — the
+//     plain access races with the atomic one.
+//  2. In structs annotated //dnhunter:hotatomic, the atomic progress
+//     counters (atomic.Uint64 and friends, plus any field from rule 1)
+//     must sit on distinct cache lines: producer and consumer each spin
+//     on their own index, and sharing a 64-byte line turns that into
+//     cross-core ping-pong. atomic.Bool flags are exempt — they are
+//     rarely-written state, not per-operation counters.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag mixed atomic/plain field access and unpadded atomic counters in //dnhunter:hotatomic structs",
+	Run:  runAtomicField,
+}
+
+// cacheLine is the padding granularity the ring structs are built for.
+const cacheLine = 64
+
+func runAtomicField(pass *analysis.Pass) error {
+	ds := scanDirectives(pass)
+	atomicUses, plainUses := collectFieldAccesses(pass)
+
+	// Rule 1: mixed atomic and plain access to the same field.
+	var mixed []*types.Var
+	for field := range atomicUses {
+		if len(plainUses[field]) > 0 {
+			mixed = append(mixed, field)
+		}
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].Pos() < mixed[j].Pos() })
+	for _, field := range mixed {
+		pos := plainUses[field][0]
+		for _, p := range plainUses[field][1:] {
+			if p < pos {
+				pos = p
+			}
+		}
+		ds.report(pos, "field %s is accessed with sync/atomic elsewhere in this package; this plain access races — use atomic access everywhere or a typed atomic", field.Name())
+	}
+
+	// Rule 2: cache-line separation inside //dnhunter:hotatomic structs.
+	var hotObjs []types.Object
+	for obj := range ds.types {
+		if ds.typeHas(obj, dirHotAtomic) {
+			hotObjs = append(hotObjs, obj)
+		}
+	}
+	sort.Slice(hotObjs, func(i, j int) bool { return hotObjs[i].Pos() < hotObjs[j].Pos() })
+	for _, obj := range hotObjs {
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			ds.report(obj.Pos(), "%s%s applies to struct types only", directivePrefix, dirHotAtomic)
+			continue
+		}
+		checkPadding(pass, ds, obj, st, atomicUses)
+	}
+	return nil
+}
+
+// collectFieldAccesses walks the package and splits every field access
+// into atomic (the &x.f argument of a sync/atomic call) and plain
+// (everything else), keyed by the field object.
+func collectFieldAccesses(pass *analysis.Pass) (atomicUses, plainUses map[*types.Var][]token.Pos) {
+	atomicUses = make(map[*types.Var][]token.Pos)
+	plainUses = make(map[*types.Var][]token.Pos)
+	info := pass.TypesInfo
+
+	// Selector nodes consumed by a sync/atomic call, to exclude from the
+	// plain sweep.
+	viaAtomic := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(info, call)
+			if pkgPathOf(callee) != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if field := fieldOf(info, sel); field != nil {
+				viaAtomic[sel] = true
+				atomicUses[field] = append(atomicUses[field], sel.Pos())
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || viaAtomic[sel] {
+				return true
+			}
+			if field := fieldOf(info, sel); field != nil {
+				plainUses[field] = append(plainUses[field], sel.Pos())
+			}
+			return true
+		})
+	}
+	return atomicUses, plainUses
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil for
+// methods, qualified identifiers, and non-field selections.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if v, ok := info.ObjectOf(sel.Sel).(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// checkPadding verifies that every pair of atomic counter fields in a
+// hotatomic struct is at least a cache line apart.
+func checkPadding(pass *analysis.Pass, ds *directives, obj types.Object, st *types.Struct, atomicUses map[*types.Var][]token.Pos) {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := pass.TypesSizes.Offsetsof(fields)
+
+	type counter struct {
+		field  *types.Var
+		offset int64
+	}
+	var counters []counter
+	for i, f := range fields {
+		if isAtomicCounter(f.Type()) || len(atomicUses[f]) > 0 {
+			counters = append(counters, counter{f, offsets[i]})
+		}
+	}
+	for i := 1; i < len(counters); i++ {
+		prev, cur := counters[i-1], counters[i]
+		if cur.offset-prev.offset < cacheLine {
+			ds.report(cur.field.Pos(), "atomic fields %s.%s and %s.%s are %d bytes apart and share a cache line; insert [%d]byte padding between them",
+				obj.Name(), prev.field.Name(), obj.Name(), cur.field.Name(), cur.offset-prev.offset, cacheLine)
+		}
+	}
+}
+
+// isAtomicCounter reports whether t is one of sync/atomic's typed
+// progress counters. atomic.Bool is deliberately excluded.
+func isAtomicCounter(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tobj := n.Obj()
+	if tobj.Pkg() == nil || tobj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch tobj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}

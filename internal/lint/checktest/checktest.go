@@ -1,0 +1,129 @@
+// Package checktest runs a lint analyzer over a fixture package and
+// matches its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Each fixture line that should produce findings carries a trailing
+// comment listing one quoted regexp per expected finding:
+//
+//	s := string(b) // want `string\(bytes\) conversion`
+//
+// Both `...`-quoted and "..."-quoted forms are accepted. The test fails
+// on any unexpected diagnostic and any unmatched expectation, so
+// fixtures pin both the positive and the negative behavior.
+package checktest
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantRE matches one quoted expectation in a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads pattern (a package path or ./-relative directory, resolved
+// from dir) and checks analyzer a against the fixture's expectations.
+func Run(t *testing.T, dir, pattern string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("pattern %s matched %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	expects := parseExpectations(t, pkg)
+	var diags []analysis.Diagnostic
+	pass := pkg.Pass(a, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != p.Filename || e.line != p.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// parseExpectations extracts `// want ...` comments from the fixture.
+func parseExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Accept both `// want ...` and `/* want ... */`; the block
+				// form lets an expectation share a line with a //dnhunter:
+				// directive under test.
+				body := c.Text
+				if strings.HasPrefix(body, "/*") {
+					body = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(body, "/*"), "*/"))
+				} else {
+					body = strings.TrimSpace(strings.TrimPrefix(body, "//"))
+				}
+				text, ok := strings.CutPrefix(body, "want ")
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text, -1) {
+					pattern, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", p, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", p, q, err)
+					}
+					out = append(out, &expectation{file: p.Filename, line: p.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}

@@ -1,0 +1,236 @@
+// Package lint holds dnlint, the project's static-analysis suite: four
+// analyzers that machine-enforce the engine's hot-path invariants
+// (zero steady-state allocation, deterministic emit order, slab-handle
+// discipline, atomic-field hygiene). The analyzers are driven by
+// cmd/dnlint (standalone or as a `go vet -vettool`) and by the in-repo
+// self-check test, and are configured through //dnhunter: source
+// directives documented in the README's "Static analysis" section.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Directive names. Markers annotate declarations; suppressions justify
+// one finding on the same (or immediately preceding) line and MUST carry
+// a reason string, which dnlint echoes into the CI job summary.
+const (
+	// dirHotPath marks a function as packet-rate hot. hotalloc checks it
+	// and every function in the same package it (transitively)
+	// references; cross-package callees must carry their own marker.
+	dirHotPath = "hotpath"
+	// dirEmitPath marks a function as reachable from output emission, so
+	// maprange applies to it even outside the built-in emit packages.
+	dirEmitPath = "emitpath"
+	// dirSlab marks a slab-backed element type: pointers to it must not
+	// outlive a statement-local use (slabref).
+	dirSlab = "slab"
+	// dirHotAtomic marks a struct whose atomic index fields must be
+	// cache-line separated (atomicfield).
+	dirHotAtomic = "hotatomic"
+
+	// Per-analyzer suppressions.
+	dirAllocOK     = "alloc-ok"
+	dirUnorderedOK = "unordered-ok"
+	dirSlabOK      = "slab-ok"
+	dirAtomicOK    = "atomic-ok"
+)
+
+// directivePrefix introduces every dnlint directive comment.
+const directivePrefix = "//dnhunter:"
+
+var knownDirectives = map[string]bool{
+	dirHotPath: true, dirEmitPath: true, dirSlab: true, dirHotAtomic: true,
+	dirAllocOK: true, dirUnorderedOK: true, dirSlabOK: true, dirAtomicOK: true,
+}
+
+// suppressionFor maps analyzer name → its suppression directive.
+var suppressionFor = map[string]string{
+	"hotalloc":    dirAllocOK,
+	"maprange":    dirUnorderedOK,
+	"slabref":     dirSlabOK,
+	"atomicfield": dirAtomicOK,
+}
+
+// directive is one parsed //dnhunter: comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+	// attached records that a marker directive was associated with a
+	// declaration; unattached markers are dead and get reported.
+	attached bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// directives indexes every //dnhunter: comment of a pass.
+type directives struct {
+	pass    *analysis.Pass
+	funcs   map[*ast.FuncDecl][]*directive
+	types   map[types.Object][]*directive
+	byLine  map[lineKey][]*directive
+	all     []*directive
+	flagged map[*directive]bool // reasonless suppressions already reported
+}
+
+// scanDirectives parses the directives of every file in the pass and
+// attaches markers to the declarations they document.
+func scanDirectives(pass *analysis.Pass) *directives {
+	ds := &directives{
+		pass:    pass,
+		funcs:   make(map[*ast.FuncDecl][]*directive),
+		types:   make(map[types.Object][]*directive),
+		byLine:  make(map[lineKey][]*directive),
+		flagged: make(map[*directive]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				d := &directive{name: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
+				ds.all = append(ds.all, d)
+				p := pass.Fset.Position(c.Pos())
+				k := lineKey{p.Filename, p.Line}
+				ds.byLine[k] = append(ds.byLine[k], d)
+			}
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				for _, d := range ds.inGroup(decl.Doc) {
+					d.attached = true
+					ds.funcs[decl] = append(ds.funcs[decl], d)
+				}
+			case *ast.GenDecl:
+				if decl.Tok != token.TYPE {
+					continue
+				}
+				shared := ds.inGroup(decl.Doc)
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[ts.Name]
+					if obj == nil {
+						continue
+					}
+					list := append(append([]*directive(nil), shared...), ds.inGroup(ts.Doc)...)
+					list = append(list, ds.inGroup(ts.Comment)...)
+					for _, d := range list {
+						d.attached = true
+						ds.types[obj] = append(ds.types[obj], d)
+					}
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directives) inGroup(cg *ast.CommentGroup) []*directive {
+	if cg == nil {
+		return nil
+	}
+	var out []*directive
+	for _, d := range ds.all {
+		if d.pos >= cg.Pos() && d.pos <= cg.End() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// funcHas reports whether decl carries the named marker.
+func (ds *directives) funcHas(decl *ast.FuncDecl, name string) bool {
+	for _, d := range ds.funcs[decl] {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// typeHas reports whether the named type's declaration carries the marker.
+func (ds *directives) typeHas(obj types.Object, name string) bool {
+	for _, d := range ds.types[obj] {
+		if d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// suppression returns the suppression directive covering pos (same line
+// or the line immediately above), or nil.
+func (ds *directives) suppression(pos token.Pos, name string) *directive {
+	p := ds.pass.Fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range ds.byLine[lineKey{p.Filename, line}] {
+			if d.name == name {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// report delivers a finding unless a suppression with a reason covers
+// pos. A reasonless suppression does not suppress: it is itself reported
+// (once), so every silenced finding carries a justification the CI
+// summary can echo.
+func (ds *directives) report(pos token.Pos, format string, args ...any) {
+	if ds.pass.InTestFile(pos) {
+		return
+	}
+	name := suppressionFor[ds.pass.Analyzer.Name]
+	if d := ds.suppression(pos, name); d != nil {
+		if d.reason != "" {
+			return
+		}
+		if !ds.flagged[d] {
+			ds.flagged[d] = true
+			ds.pass.Reportf(d.pos, "%s%s needs a reason string justifying the suppression", directivePrefix, name)
+		}
+		return
+	}
+	ds.pass.Reportf(pos, format, args...)
+}
+
+// validate reports unknown and misplaced directives. It is called from
+// exactly one analyzer (hotalloc) so each problem is reported once per
+// package.
+func (ds *directives) validate() {
+	markers := map[string]bool{dirHotPath: true, dirEmitPath: true, dirSlab: true, dirHotAtomic: true}
+	for _, d := range ds.all {
+		if ds.pass.InTestFile(d.pos) {
+			continue
+		}
+		switch {
+		case !knownDirectives[d.name]:
+			ds.pass.Reportf(d.pos, "unknown directive %s%s", directivePrefix, d.name)
+		case markers[d.name] && !d.attached:
+			ds.pass.Reportf(d.pos, "%s%s must be in the doc comment of a %s declaration", directivePrefix, d.name, markerTarget(d.name))
+		}
+	}
+}
+
+func markerTarget(name string) string {
+	if name == dirSlab || name == dirHotAtomic {
+		return "type"
+	}
+	return "function"
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// HotAlloc flags allocation-prone constructs in the packet-rate hot
+// path. A function is hot when its declaration carries
+// //dnhunter:hotpath, or when a hot function in the same package
+// references it (transitively) — so annotating the entry points
+// (Parser.Parse, Table.Add, Resolver.Insert, the shard dispatch loop)
+// covers their whole intra-package call trees. Cross-package callees
+// must carry their own marker: the analyzer is modular, like go vet.
+//
+// Flagged constructs: string<->[]byte/[]rune conversions (except map
+// index keys and ==/!= comparisons, which the compiler performs without
+// allocating), fmt.* calls, map/slice composite literals, make and new,
+// append that does not write back to the slice it extends (or a fresh
+// slice), implicit interface boxing of call arguments, and closures
+// that are not immediately invoked. Intentional allocations (amortized
+// slab growth, one-time lazy init) are justified in place with
+// //dnhunter:alloc-ok <reason>.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-prone constructs in //dnhunter:hotpath functions and their intra-package callees",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	ds := scanDirectives(pass)
+	ds.validate() // exactly one analyzer validates directive placement
+
+	// Collect this package's function declarations.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Seed with annotated functions, then propagate hotness along
+	// intra-package references (calls and method values alike: a
+	// function handed to a hot function as a callback runs hot).
+	hot := make(map[*types.Func]string) // func → root annotation it is reached from
+	var queue []*types.Func
+	for obj, fd := range decls {
+		if ds.funcHas(fd, dirHotPath) {
+			hot[obj] = obj.Name()
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[obj].Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if _, ok := decls[callee]; ok {
+				if _, seen := hot[callee]; !seen {
+					hot[callee] = hot[obj]
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Check hot bodies in file order (deterministic reporting).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if root, isHot := hot[obj]; isHot {
+				checkHotBody(pass, ds, fd, root)
+			}
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *analysis.Pass, ds *directives, fd *ast.FuncDecl, root string) {
+	if pass.InTestFile(fd.Pos()) {
+		return
+	}
+	info := pass.TypesInfo
+	walkParents(fd.Body, func(n ast.Node, parents []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, ds, n, parents, root)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				ds.report(n.Pos(), "hot path (via %s): map literal allocates", root)
+			case *types.Slice:
+				ds.report(n.Pos(), "hot path (via %s): slice literal allocates", root)
+			}
+		case *ast.FuncLit:
+			if !immediatelyInvoked(n, parents) {
+				ds.report(n.Pos(), "hot path (via %s): closure may escape and allocate; hoist it or justify with %s%s", root, directivePrefix, dirAllocOK)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, ds *directives, call *ast.CallExpr, parents []ast.Node, root string) {
+	info := pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkHotConversion(ds, info, call, tv.Type, parents, root)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			checkHotBuiltin(ds, info, call, b.Name(), parents, root)
+			return
+		}
+	}
+	if callee := staticCallee(info, call); pkgPathOf(callee) == "fmt" {
+		ds.report(call.Pos(), "hot path (via %s): fmt.%s allocates; format off the hot path", root, callee.Name())
+		return // boxing into fmt's ...any params needs no second finding
+	}
+	checkHotBoxing(ds, info, call, root)
+}
+
+// checkHotConversion flags string([]byte), []byte(string), []rune and
+// string(rune) conversions, which copy per call. Map-index keys and
+// ==/!= operands are exempt: the compiler performs those without
+// materializing the string.
+func checkHotConversion(ds *directives, info *types.Info, call *ast.CallExpr, target types.Type, parents []ast.Node, root string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := info.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	var what string
+	switch {
+	case isString(target) && isByteOrRuneSlice(argT):
+		what = "string(bytes)"
+	case isByteOrRuneSlice(target) && isString(argT):
+		what = "[]byte(string)"
+	default:
+		return
+	}
+	if p := len(parents); p > 0 {
+		switch parent := parents[p-1].(type) {
+		case *ast.IndexExpr:
+			if parent.Index == call {
+				if _, isMap := info.TypeOf(parent.X).Underlying().(*types.Map); isMap {
+					return // m[string(b)] lookup: no allocation
+				}
+			}
+		case *ast.BinaryExpr:
+			if parent.Op == token.EQL || parent.Op == token.NEQ {
+				return // string(a) == s comparison: no allocation
+			}
+		}
+	}
+	ds.report(call.Pos(), "hot path (via %s): %s conversion allocates per call", root, what)
+}
+
+func checkHotBuiltin(ds *directives, info *types.Info, call *ast.CallExpr, name string, parents []ast.Node, root string) {
+	switch name {
+	case "make":
+		ds.report(call.Pos(), "hot path (via %s): make allocates; preallocate or justify amortized growth with %s%s", root, directivePrefix, dirAllocOK)
+	case "new":
+		ds.report(call.Pos(), "hot path (via %s): new allocates", root)
+	case "append":
+		checkHotAppend(ds, info, call, parents, root)
+	}
+}
+
+// checkHotAppend allows the two idioms the hot path is built on —
+// x = append(x, ...) into a recycled buffer, and the Append*-style
+// `return append(dst, ...)` where the caller owns dst — and flags
+// everything else: appends to fresh slices always allocate, and appends
+// stored under a different name both hide growth and alias the base.
+func checkHotAppend(ds *directives, info *types.Info, call *ast.CallExpr, parents []ast.Node, root string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := exprPath(info, call.Args[0])
+	if base == "" {
+		ds.report(call.Pos(), "hot path (via %s): append to a fresh slice allocates", root)
+		return
+	}
+	if len(parents) > 0 {
+		switch parent := parents[len(parents)-1].(type) {
+		case *ast.ReturnStmt:
+			return // Append*-style API: the caller owns the buffer
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) == call && i < len(parent.Lhs) && exprPath(info, parent.Lhs[i]) == base {
+					return // self-append into a reused buffer
+				}
+			}
+		}
+	}
+	ds.report(call.Pos(), "hot path (via %s): append result is not written back to %s; growth allocates and the base may alias", root, base)
+}
+
+// checkHotBoxing flags implicit interface conversions at call sites:
+// passing a concrete value where a parameter is an interface boxes it.
+func checkHotBoxing(ds *directives, info *types.Info, call *ast.CallExpr, root string) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.IsNil() || tv.Type == nil || types.IsInterface(tv.Type) {
+			continue
+		}
+		ds.report(arg.Pos(), "hot path (via %s): implicit conversion of %s to interface %s boxes (may allocate)", root, tv.Type, param)
+	}
+}
+
+// immediatelyInvoked reports whether lit is the callee of a direct call
+// expression (not via go/defer, which still allocate the closure).
+func immediatelyInvoked(lit *ast.FuncLit, parents []ast.Node) bool {
+	if len(parents) < 2 {
+		return false
+	}
+	call, ok := parents[len(parents)-1].(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != lit {
+		return false
+	}
+	switch parents[len(parents)-2].(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return false
+	}
+	return true
+}

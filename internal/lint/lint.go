@@ -1,0 +1,11 @@
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Analyzers is the dnlint suite, in the order diagnostics are emitted.
+var Analyzers = []*analysis.Analyzer{
+	HotAlloc,
+	MapRange,
+	SlabRef,
+	AtomicField,
+}

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// DirectiveInfo is one //dnhunter: directive, for tooling that reports
+// on the suppression inventory (dnlint -list-directives, the CI
+// summary).
+type DirectiveInfo struct {
+	Pos    token.Position
+	Name   string
+	Reason string
+}
+
+// ListDirectives returns every //dnhunter: directive in the package's
+// files, sorted by position.
+func ListDirectives(pkg *analysis.Package) []DirectiveInfo {
+	pass := pkg.Pass(HotAlloc, func(analysis.Diagnostic) {})
+	ds := scanDirectives(pass)
+	out := make([]DirectiveInfo, 0, len(ds.all))
+	for _, d := range ds.all {
+		out = append(out, DirectiveInfo{
+			Pos:    pass.Fset.Position(d.pos),
+			Name:   d.name,
+			Reason: d.reason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}

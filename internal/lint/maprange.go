@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapRange pins the byte-reproducible-output guarantee: in code
+// reachable from output emission, ranging over a map is forbidden
+// unless the iteration is provably order-insensitive. Emission scope is
+// the built-in package set below (flowdb CSV, analytics results, the
+// experiment suites, every cmd/ binary) plus any function annotated
+// //dnhunter:emitpath.
+//
+// An order-insensitive map range is one whose body only collects: it
+// appends to local slices that are sorted later in the same function,
+// writes other maps, or bumps integer counters. Anything else — calling
+// out, emitting, accumulating floats (addition order changes the low
+// bits), or taking the first/best element — needs either a sort or a
+// //dnhunter:unordered-ok <reason> justification.
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "forbid order-sensitive map iteration in code reachable from output emission",
+	Run:  runMapRange,
+}
+
+// emitRoots are the package paths (exact, or prefix when ending in "/")
+// that are reachable from output emission by construction.
+var emitRoots = []string{
+	"repro/internal/flowdb",
+	"repro/internal/analytics",
+	"repro/internal/experiments",
+	"repro/cmd/",
+}
+
+func inEmitScope(path string) bool {
+	path = sanitizedPkgPath(path)
+	for _, r := range emitRoots {
+		if strings.HasSuffix(r, "/") {
+			if strings.HasPrefix(path, r) {
+				return true
+			}
+		} else if path == r {
+			return true
+		}
+	}
+	return false
+}
+
+func runMapRange(pass *analysis.Pass) error {
+	ds := scanDirectives(pass)
+	pkgScoped := inEmitScope(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pkgScoped && !ds.funcHas(fd, dirEmitPath) {
+				continue
+			}
+			checkEmitFunc(pass, ds, fd)
+		}
+	}
+	return nil
+}
+
+func checkEmitFunc(pass *analysis.Pass, ds *directives, fd *ast.FuncDecl) {
+	if pass.InTestFile(fd.Pos()) {
+		return
+	}
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if reason := collectorVerdict(info, rs, fd); reason != "" {
+			ds.report(rs.Pos(), "map iteration order is random; %s — sort the keys or justify with %s%s <reason>", reason, directivePrefix, dirUnorderedOK)
+		}
+		return true
+	})
+}
+
+// collectorVerdict returns "" when the map range is order-insensitive,
+// or a short explanation of why it is not.
+func collectorVerdict(info *types.Info, rs *ast.RangeStmt, fd *ast.FuncDecl) string {
+	var appendTargets []string
+	for _, stmt := range rs.Body.List {
+		switch stmt := stmt.(type) {
+		case *ast.AssignStmt:
+			if r := classifyAssign(info, stmt, &appendTargets); r != "" {
+				return r
+			}
+		case *ast.IncDecStmt:
+			if !isIntLvalue(info, stmt.X) {
+				return "the loop body mutates non-integer state"
+			}
+		default:
+			return "the loop body does more than collect"
+		}
+	}
+	for _, target := range appendTargets {
+		if !sortedAfter(info, fd, rs, target) {
+			return "elements collected into " + target + " are never sorted"
+		}
+	}
+	return ""
+}
+
+// classifyAssign accepts map writes, integer accumulation, and
+// self-appends (recording the target for the later-sort requirement).
+func classifyAssign(info *types.Info, stmt *ast.AssignStmt, appendTargets *[]string) string {
+	// x = append(x, ...) collector.
+	if len(stmt.Lhs) == 1 && len(stmt.Rhs) == 1 {
+		if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+					lhs := exprPath(info, stmt.Lhs[0])
+					if lhs != "" && lhs == exprPath(info, call.Args[0]) {
+						*appendTargets = append(*appendTargets, lhs)
+						return ""
+					}
+				}
+			}
+		}
+	}
+	for _, lhs := range stmt.Lhs {
+		lhs := ast.Unparen(lhs)
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if _, isMap := info.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+				// Writing another map keeps determinism — unless the
+				// write accumulates floats, where addition order leaks
+				// into the low bits.
+				if stmt.Tok != token.ASSIGN && isFloat(info.TypeOf(lhs)) {
+					return "float accumulation depends on addition order"
+				}
+				continue
+			}
+		}
+		if stmt.Tok == token.ASSIGN || stmt.Tok == token.DEFINE {
+			return "the loop body overwrites state (last iteration wins)"
+		}
+		if !isIntLvalue(info, lhs) {
+			return "the loop body accumulates non-integer state"
+		}
+	}
+	if containsCall(info, stmt.Rhs) {
+		return "the loop body calls out"
+	}
+	return ""
+}
+
+func isIntLvalue(info *types.Info, e ast.Expr) bool {
+	b, ok := info.TypeOf(e).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// containsCall reports whether any expression calls a non-builtin
+// function (len/cap and conversions stay allowed in collector bodies).
+func containsCall(info *types.Info, exprs []ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+					return true
+				}
+			}
+			found = true
+			return false
+		})
+	}
+	return found
+}
+
+// sortFuncs are the recognized deterministic-ordering calls.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether target is passed to a recognized sort
+// call positioned after the range statement in the same function.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		callee := staticCallee(info, call)
+		if callee == nil || !sortFuncs[pkgPathOf(callee)+"."+callee.Name()] {
+			return true
+		}
+		if exprPath(info, call.Args[0]) == target {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checktest"
+)
+
+// The fixture tests pin each analyzer against a seeded-violation
+// package: every positive finding and every sanctioned idiom is
+// asserted, so a regression in either direction fails the build.
+
+func TestHotAllocFixture(t *testing.T) {
+	checktest.Run(t, ".", "./testdata/src/hotalloc", lint.HotAlloc)
+}
+
+func TestMapRangeFixture(t *testing.T) {
+	checktest.Run(t, ".", "./testdata/src/maprange", lint.MapRange)
+}
+
+func TestSlabRefFixture(t *testing.T) {
+	checktest.Run(t, ".", "./testdata/src/slabref", lint.SlabRef)
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	checktest.Run(t, ".", "./testdata/src/atomicfield", lint.AtomicField)
+}
+
+// TestRepoIsClean runs the full dnlint suite over every package in the
+// module and asserts zero unjustified findings — the burned-in state of
+// the repository is part of its test contract.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := analysis.Load(".", "repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range lint.Analyzers {
+			pass := pkg.Pass(a, func(d analysis.Diagnostic) {
+				t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			})
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: positive
+// cases carry `want` expectations, negative cases pin the allowed
+// idioms (map-index keys, comparisons, self-append, return-append,
+// justified suppressions, cold functions).
+package hotalloc
+
+import "fmt"
+
+var sink any
+
+type table struct {
+	buf   []byte
+	names map[string]int
+}
+
+//dnhunter:hotpath
+func (t *table) Process(b []byte) int {
+	s := string(b) // want `string\(bytes\) conversion allocates`
+	_ = s
+	if n, ok := t.names[string(b)]; ok { // map-index key: no allocation
+		return n
+	}
+	if string(b) == "www" { // comparison: no allocation
+		return 1
+	}
+	return t.helper(b)
+}
+
+// helper carries no marker: it is hot by propagation from Process.
+func (t *table) helper(b []byte) int {
+	t.buf = append(t.buf, b...) // self-append into a reused buffer
+	x := append(t.buf, 0)       // want `append result is not written back`
+	_ = x
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	fmt.Println(len(b)) // want `fmt\.Println allocates`
+	p := new(table)     // want `new allocates`
+	_ = p
+	return 0
+}
+
+//dnhunter:hotpath
+func grow(dst []byte, b byte) []byte {
+	return append(dst, b) // Append*-style API: the caller owns dst
+}
+
+//dnhunter:hotpath
+func boxed(v int) {
+	consume(v) // want `implicit conversion of int to interface`
+}
+
+func consume(v any) { sink = v }
+
+//dnhunter:hotpath
+func lazyInit(t *table) {
+	if t.buf == nil {
+		//dnhunter:alloc-ok one-time lazy init, amortized to zero per packet
+		t.buf = make([]byte, 0, 1024)
+	}
+	t.names = make(map[string]int) // want `make allocates`
+}
+
+//dnhunter:hotpath
+func reasonless(t *table) {
+	/* want `needs a reason string` */ //dnhunter:alloc-ok
+	t.names = make(map[string]int)
+}
+
+//dnhunter:hotpath
+func escape() func() int {
+	n := 0
+	f := func() int { n++; return n } // want `closure may escape`
+	return f
+}
+
+//dnhunter:hotpath
+func iife() int {
+	return func() int { return 1 }() // immediately invoked: stack-allocated
+}
+
+// cold is unreferenced from any hot function: unchecked.
+func cold(b []byte) string {
+	return string(b)
+}
+
+func misplaced() {
+	/* want `must be in the doc comment of a function` */ //dnhunter:hotpath
+	_ = cold(nil)
+}
+
+/* want `unknown directive` */ //dnhunter:bogus

@@ -1,0 +1,88 @@
+// Package maprange is the fixture for the maprange analyzer. The
+// package path is outside the built-in emit scope, so every checked
+// function opts in with //dnhunter:emitpath — which also pins the
+// marker mechanism itself.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+//dnhunter:emitpath
+func emitBad(m map[string]int) {
+	for k, v := range m { // want `map iteration order is random`
+		fmt.Println(k, v)
+	}
+}
+
+//dnhunter:emitpath
+func emitSorted(m map[string]int) {
+	var keys []string
+	for k := range m { // collector with a later sort: deterministic
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+//dnhunter:emitpath
+func emitUnsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//dnhunter:emitpath
+func emitCounts(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer accumulation: order-insensitive
+		n += v
+	}
+	return n
+}
+
+//dnhunter:emitpath
+func emitFloatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `accumulates non-integer state`
+		s += v
+	}
+	return s
+}
+
+//dnhunter:emitpath
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // map write: deterministic result
+		out[v] = k
+	}
+	return out
+}
+
+//dnhunter:emitpath
+func sumInto(m, out map[string]float64) {
+	for k, v := range m { // want `float accumulation`
+		out[k] += v
+	}
+}
+
+//dnhunter:emitpath
+func anyKey(m map[string]int) string {
+	//dnhunter:unordered-ok any element works; result feeds a cache probe, not output
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// notEmit is outside the emit scope: unchecked.
+func notEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

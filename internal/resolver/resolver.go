@@ -153,7 +153,10 @@ func (m *orderedServerMap) size() int { return len(m.keys) }
 
 // pairNode is one flat-table node: the (client, server) key it is filed
 // under, the newest entry, and bounded history. Nodes live in a dense slab
-// addressed by the uint32 slots of the swiss index.
+// addressed by the uint32 slots of the swiss index; slots are recycled on
+// remove, so cross-statement references use slots, never *pairNode.
+//
+//dnhunter:slab
 type pairNode struct {
 	client, server netip.Addr
 	hash           uint64
@@ -203,10 +206,12 @@ func newPairTable() *pairTable {
 }
 
 func (t *pairTable) init(groups int) {
+	//dnhunter:alloc-ok rehash-time growth, amortized O(1) per insert
 	t.ctrl = make([]uint64, groups)
 	for i := range t.ctrl {
 		t.ctrl[i] = swiss.EmptyGroup
 	}
+	//dnhunter:alloc-ok rehash-time growth, amortized O(1) per insert
 	t.slots = make([]uint32, groups*swiss.GroupSize)
 	t.gmask = uint64(groups - 1)
 	t.used, t.tombs = 0, 0
@@ -218,7 +223,10 @@ func (t *pairTable) hash(client, server netip.Addr) uint64 {
 }
 
 // at returns the node at slab slot i.
-func (t *pairTable) at(i uint32) *pairNode { return &t.nodes[i>>nodeChunkBits][i&nodeChunkMask] }
+func (t *pairTable) at(i uint32) *pairNode {
+	//dnhunter:slab-ok the sanctioned accessor; callers must not retain the pointer past slot recycling
+	return &t.nodes[i>>nodeChunkBits][i&nodeChunkMask]
+}
 
 // find returns the node slot for (client, server), or noSlot.
 func (t *pairTable) find(h uint64, client, server netip.Addr) uint32 {
@@ -288,6 +296,7 @@ func (t *pairTable) insert(h uint64, client, server netip.Addr, e *Entry) uint32
 	} else {
 		slot = t.nodesLen
 		if slot>>nodeChunkBits == uint32(len(t.nodes)) {
+			//dnhunter:alloc-ok fixed-size chunk carve, amortized over nodeChunkLen nodes
 			t.nodes = append(t.nodes, make([]pairNode, nodeChunkLen))
 		}
 		t.nodesLen++
@@ -414,6 +423,8 @@ func (r *Resolver) newServerMap() serverMap {
 // Insert records one DNS response: clientIP asked for fqdn and received the
 // given server addresses (Algorithm 1, INSERT). Responses with no addresses
 // are counted but change nothing.
+//
+//dnhunter:hotpath
 func (r *Resolver) Insert(clientIP netip.Addr, fqdn string, servers []netip.Addr, at time.Duration) {
 	r.stats.Responses++
 	if fqdn == "" || len(servers) == 0 {
@@ -460,6 +471,7 @@ func (r *Resolver) insertFlat(clientIP netip.Addr, entry *Entry, servers []netip
 			old.removeRef(clientIP, serverIP)
 			r.stats.Replaced++
 			if r.cfg.History > 0 && old.FQDN != entry.FQDN {
+				//dnhunter:alloc-ok history mode only (History>0); bounded prepend, off on the default path
 				n.older = append([]*Entry{old}, n.older...)
 				if len(n.older) > r.cfg.History {
 					n.older = n.older[:r.cfg.History]
@@ -493,6 +505,7 @@ func (r *Resolver) insertOrdered(clientIP netip.Addr, entry *Entry, servers []ne
 			old.removeRef(clientIP, serverIP)
 			r.stats.Replaced++
 			if r.cfg.History > 0 && old.FQDN != entry.FQDN {
+				//dnhunter:alloc-ok history mode only (History>0); bounded prepend, off on the default path
 				n.older = append([]*Entry{old}, n.older...)
 				if len(n.older) > r.cfg.History {
 					n.older = n.older[:r.cfg.History]
@@ -516,6 +529,7 @@ func (r *Resolver) newEntry(fqdn string, at time.Duration) *Entry {
 		return e
 	}
 	if len(r.entrySlab) == 0 {
+		//dnhunter:alloc-ok fixed-size block carve, amortized over slabSize entries
 		r.entrySlab = make([]Entry, slabSize)
 	}
 	e := &r.entrySlab[0]
@@ -534,6 +548,7 @@ func (r *Resolver) newNode(e *Entry) *node {
 		return nd
 	}
 	if len(r.nodeSlab) == 0 {
+		//dnhunter:alloc-ok fixed-size block carve, amortized over slabSize nodes
 		r.nodeSlab = make([]node, slabSize)
 	}
 	nd := &r.nodeSlab[0]
@@ -552,6 +567,7 @@ func (r *Resolver) reserveRefs(e *Entry, n int) {
 		return // recycled entry with enough capacity
 	}
 	if len(r.refSlab) < n {
+		//dnhunter:alloc-ok fixed-size block carve, amortized over slabSize backrefs
 		r.refSlab = make([]backref, max(slabSize, n))
 	}
 	e.refs = r.refSlab[:0:n]
@@ -665,6 +681,8 @@ func (r *Resolver) Lookup(clientIP, serverIP netip.Addr) (fqdn string, ok bool) 
 // LookupEntry is Lookup but returns the whole entry (FQDN plus the time the
 // response was observed, used to measure first-flow delay, Fig. 12). In
 // MapHash mode this is a single flat-table probe.
+//
+//dnhunter:hotpath
 func (r *Resolver) LookupEntry(clientIP, serverIP netip.Addr) (*Entry, bool) {
 	r.stats.Lookups++
 	if ft := r.flat; ft != nil {
