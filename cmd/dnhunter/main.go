@@ -15,6 +15,12 @@
 // each flow came from, and statistics print per vantage plus aggregate.
 //
 //	dnhunter -trace US=us.pcap -trace EU1=eu1.pcap -trace EU2=eu2.pcap -out flows.csv
+//
+// Streaming service mode (run-forever ingestion with windowed output, an
+// HTTP metrics endpoint, overload shedding, and resolver checkpointing —
+// see docs/OPERATIONS.md):
+//
+//	dnhunter serve -listen :8053 -pcap trace.pcap -loop 0 [-window 5m] [-shed] [-checkpoint clist.ckpt]
 package main
 
 import (
@@ -53,6 +59,10 @@ func (t *traceFlag) Set(v string) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dnhunter: ")
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	pcapPath := flag.String("pcap", "", "input pcap file (single-vantage mode)")
 	var traces traceFlag
 	flag.Var(&traces, "trace", "named vantage capture as name=path; repeat for multi-vantage runs")

@@ -1,0 +1,158 @@
+// Command linkcheck validates relative links in markdown files: every
+// [text](target) must point at an existing file (resolved against the
+// markdown file's directory), and a #fragment must name a heading in the
+// target file (GitHub-style anchors). External schemes (http, https,
+// mailto) are skipped — CI must not depend on the network. Exit status is
+// nonzero when any link is broken.
+//
+//	linkcheck README.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck file.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		errs, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, e := range errs {
+			fmt.Println(e)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// linkRe matches inline links [text](target); images share the syntax
+// with a leading ! and are checked the same way.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile returns one message per broken link in the file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var errs []string
+	dir := filepath.Dir(path)
+	for i, line := range strings.Split(stripFenced(string(data)), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkLink(dir, path, target); msg != "" {
+				errs = append(errs, fmt.Sprintf("%s:%d: %s", path, i+1, msg))
+			}
+		}
+	}
+	return errs, nil
+}
+
+// stripFenced blanks the interior of ``` fenced code blocks (line count
+// preserved) so link syntax inside examples is not validated.
+func stripFenced(s string) string {
+	lines := strings.Split(s, "\n")
+	fenced := false
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "```") {
+			fenced = !fenced
+			lines[i] = ""
+			continue
+		}
+		if fenced {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// checkLink validates one link target; empty string means OK.
+func checkLink(dir, from, target string) string {
+	for _, scheme := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, scheme) {
+			return ""
+		}
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := from
+	if file != "" {
+		resolved = filepath.Join(dir, file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // anchors into non-markdown files are not checkable
+	}
+	ok, err := hasAnchor(resolved, frag)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !ok {
+		return fmt.Sprintf("broken link %q: no heading for anchor #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style anchor equals frag.
+func hasAnchor(path, frag string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	seen := map[string]int{}
+	for _, line := range strings.Split(stripFenced(string(data)), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if heading == line || !strings.HasPrefix(heading, " ") {
+			continue // not a heading (e.g. #!/bin/sh in unfenced text)
+		}
+		a := anchor(strings.TrimSpace(heading))
+		// Duplicate headings get -1, -2, ... suffixes, like GitHub.
+		if n := seen[a]; n > 0 {
+			seen[a] = n + 1
+			a = fmt.Sprintf("%s-%d", a, n)
+		} else {
+			seen[a] = 1
+		}
+		if a == frag {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// anchor converts a heading to its GitHub anchor: lowercase, spaces to
+// hyphens, punctuation dropped.
+func anchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/OPS.md", "# Ops Guide\n\n## Alert Thresholds\ntext\n")
+	md := write(t, dir, "README.md", strings.Join([]string{
+		"# Title",
+		"[ops](docs/OPS.md)",
+		"[thresholds](docs/OPS.md#alert-thresholds)",
+		"[self](#title)",
+		"[ext](https://example.com/x) [mail](mailto:a@b.c)",
+		"```",
+		"[not a link](missing.md)",
+		"```",
+	}, "\n"))
+	errs, err := checkFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func TestBrokenFileAndAnchor(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/OPS.md", "# Ops\n")
+	md := write(t, dir, "README.md", strings.Join([]string{
+		"[gone](docs/MISSING.md)",
+		"[bad](docs/OPS.md#nope)",
+		"[badself](#nothere)",
+	}, "\n"))
+	errs, err := checkFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 3 {
+		t.Fatalf("want 3 broken links, got %d: %v", len(errs), errs)
+	}
+	for i, want := range []string{"MISSING.md", "#nope", "#nothere"} {
+		if !strings.Contains(errs[i], want) {
+			t.Fatalf("error %d = %q, want mention of %q", i, errs[i], want)
+		}
+	}
+}
+
+func TestDuplicateHeadingAnchors(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "doc.md", "# Setup\n## Flags\ntext\n## Flags\nmore\n")
+	md := write(t, dir, "README.md", "[a](doc.md#flags)\n[b](doc.md#flags-1)\n[c](doc.md#flags-2)\n")
+	errs, err := checkFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0], "#flags-2") {
+		t.Fatalf("want exactly #flags-2 broken, got %v", errs)
+	}
+}
+
+func TestAnchorConversion(t *testing.T) {
+	for in, want := range map[string]string{
+		"Alert Thresholds":        "alert-thresholds",
+		"Engine.Serve(ctx)":       "engineservectx",
+		"What `-shed` drops mean": "what--shed-drops-mean",
+	} {
+		if got := anchor(in); got != want {
+			t.Fatalf("anchor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -3,6 +3,11 @@
 // responses populate the resolver (the clients' cache replica); the flow
 // tagger labels every flow at its first packet — before any payload byte —
 // and emits labeled flows to the database and to the policy hook.
+//
+// The pipeline has two run modes: Engine.Run ingests a finite trace and
+// returns an accumulated Result, while Server.Serve (see serve.go) runs
+// the same stages against unbounded input with windowed flushing, overload
+// shedding, and resolver checkpointing.
 package core
 
 import (
@@ -64,6 +69,10 @@ type Config struct {
 	// Truth, when set, supplies ground-truth FQDNs for synthetic flows
 	// (used only for scoring, never for labeling).
 	Truth func(flows.Key) string
+	// DiscardDB skips storing finished flows in the database (DB stays
+	// empty); the OnFlow hook still observes every flow. Streaming mode
+	// sets it to keep heap bounded over unbounded input.
+	DiscardDB bool
 	// Vantage labels every emitted event and flow record with the packet
 	// source's name. The multi-source Engine sets it per vantage pipeline;
 	// empty (the default) leaves records unlabeled, preserving the exact
@@ -324,7 +333,9 @@ func (h *DNHunter) onRecord(r flows.Record, hd flows.Handle) {
 	if tg.hit {
 		h.stats.LabeledFlows++
 	}
-	h.db.Add(lf)
+	if !h.cfg.DiscardDB {
+		h.db.Add(lf)
+	}
 	if h.cfg.OnFlow != nil {
 		h.cfg.OnFlow(lf)
 	}

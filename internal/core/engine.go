@@ -48,6 +48,24 @@ type EngineConfig struct {
 	// 1-minute default; negative disables pacing (sources free-run).
 	// Ignored by single-source Run.
 	MergeWindow time.Duration
+	// DiscardDB stops the pipelines from accumulating labeled flows into
+	// Result.DB (it comes back empty). Streaming mode sets it: flows are
+	// observed through Sink.OnFlow and the windowed store instead, so heap
+	// stays bounded over unbounded input.
+	DiscardDB bool
+	// Shed, when non-nil, switches the dispatcher→shard rings from
+	// blocking back-pressure to overload shedding with per-shard drop
+	// accounting (see ShedStats). Only meaningful with Shards > 1; the
+	// single-shard pipeline has no ring to shed from.
+	Shed *ShedStats
+
+	// tapPipelines and tapRings are the serve-mode instrumentation seams,
+	// settable only from within the package (the Server uses them). Both
+	// fire on the Run goroutine after construction and before the first
+	// packet: tapPipelines receives the shard pipelines (checkpoint
+	// restore/snapshot), tapRings the dispatch rings (depth gauges).
+	tapPipelines func([]*DNHunter)
+	tapRings     func([]*spscRing)
 }
 
 // Engine is the concurrent DN-Hunter pipeline. An Engine is an immutable
@@ -167,11 +185,15 @@ func (e *Engine) runSingle(ctx context.Context, src netio.PacketSource) (*Result
 	fcfg.DisableAutoSweep = false // engine-managed; see EngineConfig.Flows
 	fcfg.OnRecord = nil
 	h := New(sinkConfig(Config{
-		Resolver: e.cfg.Resolver,
-		Flows:    fcfg,
-		Truth:    e.cfg.Truth,
-		Vantage:  e.cfg.Vantage,
+		Resolver:  e.cfg.Resolver,
+		Flows:     fcfg,
+		Truth:     e.cfg.Truth,
+		Vantage:   e.cfg.Vantage,
+		DiscardDB: e.cfg.DiscardDB,
 	}, e.cfg.Sink))
+	if e.cfg.tapPipelines != nil {
+		e.cfg.tapPipelines([]*DNHunter{h})
+	}
 	done := ctx.Done()
 	block := make([]netio.Packet, blockLen)
 	fetch := newBlockFetcher(src)

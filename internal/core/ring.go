@@ -136,6 +136,22 @@ func newRing(depth, batch, bufCap int) *spscRing {
 	}
 }
 
+// claim resets and acquires the fill slot at head position h. The caller
+// has verified the slot is free (consumer released it).
+func (r *spscRing) claim(h uint64) *ringSlot {
+	s := &r.slots[h&r.mask]
+	if s.entries == nil {
+		//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
+		s.entries = make([]shardEntry, 0, r.batch)
+		//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
+		s.buf = make([]byte, 0, r.bufCap)
+	}
+	s.entries = s.entries[:0]
+	s.buf = s.buf[:0]
+	r.acquired = true
+	return s
+}
+
 // slot returns the producer's current fill slot, blocking until the
 // consumer has freed it on wraparound. The slot is reset on first use
 // after acquisition.
@@ -158,18 +174,31 @@ func (r *spscRing) slot() *ringSlot {
 			r.prodParked.Store(false)
 			spins = 0
 		}
-		s := &r.slots[h&r.mask]
-		if s.entries == nil {
-			//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
-			s.entries = make([]shardEntry, 0, r.batch)
-			//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
-			s.buf = make([]byte, 0, r.bufCap)
-		}
-		s.entries = s.entries[:0]
-		s.buf = s.buf[:0]
-		r.acquired = true
+		return r.claim(h)
 	}
 	return &r.slots[h&r.mask]
+}
+
+// trySlot is slot without the wraparound wait: ok=false when the ring is
+// full and no fill slot is currently acquired. The overload-shedding
+// dispatch path uses it to drop instead of blocking the reader when a
+// shard backs up.
+func (r *spscRing) trySlot() (*ringSlot, bool) {
+	h := r.head.Load()
+	if !r.acquired {
+		if h-r.tail.Load() >= uint64(len(r.slots)) {
+			return nil, false
+		}
+		return r.claim(h), true
+	}
+	return &r.slots[h&r.mask], true
+}
+
+// depth reports the number of published-but-unreleased slots, 0 to
+// len(slots). Safe to call from any goroutine (a metrics gauge): it
+// touches only the atomic indices, not the producer-owned fill state.
+func (r *spscRing) depth() int {
+	return int(r.head.Load() - r.tail.Load())
 }
 
 // publish hands the current fill slot to the consumer. A no-op when the

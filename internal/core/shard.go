@@ -128,6 +128,13 @@ type dispatcher struct {
 	expire    func(flows.Key, uint64, uint32)
 	idle      time.Duration
 	sweepMark time.Duration
+
+	// shed, when non-nil, switches enqueue from blocking back-pressure to
+	// overload shedding: entries bound for a full ring are dropped (and
+	// counted per shard) instead of stalling the reader. Serve mode sets
+	// it; batch runs keep the blocking behaviour. Expiry commands and
+	// flow-closing segments are never shed — see enqueue.
+	shed *ShedStats
 }
 
 // runSharded is the Shards>1 path.
@@ -145,13 +152,23 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 		fcfg.Seed = seed
 		workers[i] = &shardWorker{
 			h: New(sinkConfig(Config{
-				Resolver: e.cfg.Resolver,
-				Flows:    fcfg,
-				Truth:    e.cfg.Truth,
-				Vantage:  e.cfg.Vantage,
+				Resolver:  e.cfg.Resolver,
+				Flows:     fcfg,
+				Truth:     e.cfg.Truth,
+				Vantage:   e.cfg.Vantage,
+				DiscardDB: e.cfg.DiscardDB,
 			}, sink)),
 			ring: newRing(ringDepth, e.cfg.Batch, bufCap),
 		}
+	}
+	if e.cfg.tapPipelines != nil {
+		// Serve-mode seam: expose the shard pipelines (checkpoint restore
+		// writes resolver state here) before the first packet is dispatched.
+		hs := make([]*DNHunter, n)
+		for i, w := range workers {
+			hs[i] = w.h
+		}
+		e.cfg.tapPipelines(hs)
 	}
 	var (
 		wg    sync.WaitGroup
@@ -178,6 +195,13 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	d.expire = d.enqueueExpire
 	for i, w := range workers {
 		d.rings[i] = w.ring
+	}
+	if e.cfg.Shed != nil {
+		e.cfg.Shed.init(n)
+		d.shed = e.cfg.Shed
+	}
+	if e.cfg.tapRings != nil {
+		e.cfg.tapRings(d.rings)
 	}
 
 	var runErr error
@@ -238,17 +262,24 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	return &Result{DB: db, Stats: st}, nil
 }
 
-// shardOf hashes a client address onto a shard with FNV-1a: deterministic
-// across runs and processes, so a fixed shard count always produces the
-// same client partitioning.
-func (d *dispatcher) shardOf(client netip.Addr) uint32 {
+// shardOfAddr hashes a client address onto one of n shards with FNV-1a:
+// deterministic across runs and processes, so a fixed shard count always
+// produces the same client partitioning. Serve-mode checkpoint restore
+// relies on this to route snapshot entries to the shard that owns the
+// client — even when the shard count changed across the restart.
+func shardOfAddr(client netip.Addr, n int) uint32 {
 	b := client.As16()
 	h := uint64(14695981039346656037)
 	for _, c := range b {
 		h ^= uint64(c)
 		h *= 1099511628211
 	}
-	return uint32(h % uint64(len(d.workers)))
+	return uint32(h % uint64(n))
+}
+
+// shardOf routes a client address onto this dispatcher's shards.
+func (d *dispatcher) shardOf(client netip.Addr) uint32 {
+	return shardOfAddr(client, len(d.workers))
 }
 
 // dispatch parses one frame and routes it. Mirrors DNHunter.HandlePacket's
@@ -314,19 +345,37 @@ func (d *dispatcher) enqueueExpire(key flows.Key, hash uint64, shard uint32) {
 
 // enqueue appends an entry (copying its payload into the slot arena — the
 // parser and block reader beneath it reuse their buffers) to the shard's
-// current ring slot, publishing when the slot fills. Publishing may block
-// on ring wraparound: that is the back-pressure that bounds dispatcher
-// run-ahead.
+// current ring slot, publishing when the slot fills. In the default
+// (batch) mode, publishing may block on ring wraparound: that is the
+// back-pressure that bounds dispatcher run-ahead. In shed mode the
+// blocking acquire is replaced by trySlot and the entry is dropped (and
+// counted) when the ring is full — a live reader must never stall on a
+// slow shard. Three entry classes are still never shed, because dropping
+// them would corrupt state rather than degrade coverage: expiry commands
+// (auto-sweep is disabled on shard tables, so a dropped expiry leaks the
+// flow entry until drain) and RST/FIN segments (the tracker has already
+// forgotten the flow, so the shard table must see the close too). Both
+// are rare, so the bounded wait they may incur does not stall the reader
+// at packet rate.
 func (d *dispatcher) enqueue(sh int, e shardEntry, payload []byte) {
 	r := d.rings[sh]
-	s := r.slot()
+	sheddable := d.shed != nil && e.kind != entryExpire &&
+		(!e.tcp || e.flags&(layers.TCPRst|layers.TCPFin) == 0)
+	s, ok := d.acquire(r, sheddable)
+	if !ok {
+		d.shed.drop(sh, e.kind, len(payload))
+		return
+	}
 	if len(payload) > 0 {
 		// Publish before an append that would outgrow the arena, so slot
 		// storage really is allocated once (a single payload larger than
 		// the whole arena still has to grow it — once, kept thereafter).
 		if len(s.buf)+len(payload) > d.bufMax && len(s.entries) > 0 {
 			r.publish()
-			s = r.slot()
+			if s, ok = d.acquire(r, sheddable); !ok {
+				d.shed.drop(sh, e.kind, len(payload))
+				return
+			}
 		}
 		e.payOff = uint32(len(s.buf))
 		e.payLen = uint32(len(payload))
@@ -336,4 +385,13 @@ func (d *dispatcher) enqueue(sh int, e shardEntry, payload []byte) {
 	if len(s.entries) >= d.batch {
 		r.publish()
 	}
+}
+
+// acquire obtains the shard's current fill slot: non-blocking (ok=false
+// on a full ring) for sheddable entries, blocking otherwise.
+func (d *dispatcher) acquire(r *spscRing, sheddable bool) (*ringSlot, bool) {
+	if sheddable {
+		return r.trySlot()
+	}
+	return r.slot(), true
 }

@@ -133,6 +133,22 @@ func (db *DB) Merge(others ...*DB) {
 	}
 }
 
+// Reset empties the database for reuse, keeping the record slice's
+// capacity so a steady-state consumer (the windowed store rotating
+// partitions) stops allocating once its high-water mark is reached. The
+// lazy indexes are dropped outright — rebuilding them on the next query
+// is cheaper than emptying five maps, and a reused window DB is usually
+// serialized, not queried. Not safe for concurrent use, like Add.
+func (db *DB) Reset() {
+	db.recs = db.recs[:0]
+	db.indexed = 0
+	db.byFQDN = nil
+	db.bySLD = nil
+	db.byServer = nil
+	db.byPort = nil
+	db.byVantage = nil
+}
+
 // Len returns the number of flows stored.
 func (db *DB) Len() int { return len(db.recs) }
 

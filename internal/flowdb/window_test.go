@@ -1,0 +1,170 @@
+package flowdb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/flows"
+)
+
+// wflow builds a minimal labeled flow ending at end.
+func wflow(end time.Duration, label string) LabeledFlow {
+	return LabeledFlow{
+		Record:  flows.Record{Start: end - time.Second, End: end},
+		Label:   label,
+		Labeled: label != "",
+	}
+}
+
+func TestWindowedRotation(t *testing.T) {
+	var got []Window
+	var counts []int
+	w := NewWindowed(WindowConfig{
+		Width: time.Minute,
+		Flush: func(win Window) error {
+			got = append(got, win)
+			counts = append(counts, win.DB.Len())
+			return nil
+		},
+	})
+	// Two flows in window [0,1m), one in [1m,2m), one in [3m,4m) after a gap.
+	for _, f := range []LabeledFlow{
+		wflow(10*time.Second, "a.example.com"),
+		wflow(50*time.Second, "b.example.com"),
+		wflow(70*time.Second, "c.example.com"),
+		wflow(200*time.Second, "d.example.com"),
+	} {
+		if err := w.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("flushed %d windows, want 3", len(got))
+	}
+	wantBounds := [][2]time.Duration{
+		{0, time.Minute},
+		{time.Minute, 2 * time.Minute},
+		{3 * time.Minute, 4 * time.Minute},
+	}
+	wantCounts := []int{2, 1, 1}
+	for i, win := range got {
+		if win.Index != i {
+			t.Errorf("window %d: index %d", i, win.Index)
+		}
+		if win.Start != wantBounds[i][0] || win.End != wantBounds[i][1] {
+			t.Errorf("window %d: bounds [%v,%v), want [%v,%v)", i, win.Start, win.End, wantBounds[i][0], wantBounds[i][1])
+		}
+		if counts[i] != wantCounts[i] {
+			t.Errorf("window %d: %d flows, want %d", i, counts[i], wantCounts[i])
+		}
+	}
+	if w.WindowsFlushed() != 3 {
+		t.Errorf("WindowsFlushed = %d, want 3", w.WindowsFlushed())
+	}
+}
+
+// TestWindowedMatchesBatch: concatenating window contents reproduces the
+// plain append-only DB over the same emission sequence, record for record.
+func TestWindowedMatchesBatch(t *testing.T) {
+	batch := New()
+	concat := New()
+	w := NewWindowed(WindowConfig{
+		Width: 30 * time.Second,
+		Flush: func(win Window) error {
+			concat.Merge(win.DB)
+			return nil
+		},
+	})
+	// Emission-order flows with deliberately out-of-order End times within
+	// a window (idle expiry emits in recency order, not End order).
+	ends := []time.Duration{5 * time.Second, 3 * time.Second, 40 * time.Second,
+		35 * time.Second, 95 * time.Second, 70 * time.Second, 100 * time.Second}
+	for i, end := range ends {
+		f := wflow(end, fmt.Sprintf("s%d.example.com", i))
+		batch.Add(f)
+		if err := w.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if concat.Len() != batch.Len() {
+		t.Fatalf("concatenated windows hold %d flows, batch %d", concat.Len(), batch.Len())
+	}
+	for i := range batch.All() {
+		if batch.At(i).Label != concat.At(i).Label || batch.At(i).End != concat.At(i).End {
+			t.Fatalf("record %d diverges: batch %q@%v, windows %q@%v",
+				i, batch.At(i).Label, batch.At(i).End, concat.At(i).Label, concat.At(i).End)
+		}
+	}
+}
+
+// TestWindowedReusesStorage: after the high-water window, rotation must
+// stop growing the record slices (the bounded-heap property).
+func TestWindowedReusesStorage(t *testing.T) {
+	w := NewWindowed(WindowConfig{Width: time.Minute})
+	perWindow := 100
+	for win := 0; win < 8; win++ {
+		base := time.Duration(win) * time.Minute
+		for i := 0; i < perWindow; i++ {
+			f := wflow(base+time.Duration(i)*100*time.Millisecond, "x.example.com")
+			if err := w.Add(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Both the live and the spare DB must have settled at perWindow
+	// capacity (one extra slot of slack for the boundary flow).
+	if c := cap(w.cur.recs); c > 2*perWindow {
+		t.Errorf("current window capacity %d after steady state, want <= %d", c, 2*perWindow)
+	}
+	if c := cap(w.spare.recs); c > 2*perWindow {
+		t.Errorf("spare window capacity %d after steady state, want <= %d", c, 2*perWindow)
+	}
+}
+
+func TestWindowedFlushErrorSticky(t *testing.T) {
+	boom := errors.New("boom")
+	w := NewWindowed(WindowConfig{
+		Width: time.Minute,
+		Flush: func(Window) error { return boom },
+	})
+	if err := w.Add(wflow(time.Second, "")); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Add(wflow(2*time.Minute, ""))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Add after failing flush: %v, want %v", err, boom)
+	}
+	if err := w.Add(wflow(3*time.Minute, "")); !errors.Is(err, boom) {
+		t.Fatalf("sticky error not returned: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close after failing flush: %v, want %v", err, boom)
+	}
+}
+
+func TestDBReset(t *testing.T) {
+	db := New()
+	db.Add(LabeledFlow{Label: "a.example.com", Labeled: true})
+	if got := db.ByFQDN("a.example.com"); len(got) != 1 {
+		t.Fatalf("pre-reset ByFQDN: %d", len(got))
+	}
+	db.Reset()
+	if db.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", db.Len())
+	}
+	if got := db.ByFQDN("a.example.com"); len(got) != 0 {
+		t.Fatalf("post-reset ByFQDN: %d", len(got))
+	}
+	db.Add(LabeledFlow{Label: "b.example.com", Labeled: true})
+	if got := db.ByFQDN("b.example.com"); len(got) != 1 {
+		t.Fatalf("post-reset reuse ByFQDN: %d", len(got))
+	}
+}

@@ -1,0 +1,279 @@
+package resolver
+
+// Clist checkpoint/restore: the streaming (Engine.Serve) restart story.
+// The resolver is the one pipeline stage whose state cannot be
+// reconstructed from future traffic — a DNS response sniffed before a
+// crash labels flows that start after the restart (clients keep resolving
+// from their OS caches for minutes to hours, the very effect the paper's
+// Clist replicates). A checkpoint serializes the live Clist in FIFO order
+// so a restarted process resumes with the same (client, server) → FQDN
+// view, and — because order is preserved — the same future eviction
+// sequence.
+//
+// The snapshot is compacting: dead Clist slots (evicted entries awaiting
+// recycling) and entries whose every back-reference was replaced are
+// skipped, so a restored Clist holds only live state and may be shorter
+// than the original. Restore replays entries through Insert, which
+// rebuilds the lookup structure (either MapKind) and the back-references
+// exactly as the original inserts did.
+//
+// The wire format is a small versioned binary framing (netip.Addr does
+// not survive encoding/gob): addresses are length-prefixed
+// netip.Addr.MarshalBinary output, strings are uvarint-length-prefixed
+// UTF-8, integers are fixed-width little-endian.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// snapshotMagic identifies (and versions) the checkpoint framing.
+const snapshotMagic = "DNHCLIST\x01"
+
+// snapshotMaxEntry bounds per-entry variable-length fields when reading,
+// so a corrupt or hostile file cannot provoke huge allocations.
+const (
+	snapshotMaxFQDN    = 4096
+	snapshotMaxServers = 1 << 16
+)
+
+// SnapshotEntry is one live Clist entry in portable form: the client that
+// resolved FQDN, the server addresses the response carried (only those
+// whose back-references are still live), and the entry's bookkeeping.
+type SnapshotEntry struct {
+	Client  netip.Addr
+	Servers []netip.Addr
+	FQDN    string
+	// At is the trace time the DNS response was observed, relative to the
+	// checkpointed run's own trace start. A restarted run's clock restarts
+	// at zero, so flows labeled by restored entries can report a DNSDelay
+	// spanning the restart.
+	At time.Duration
+	// Used carries the paper's useless-DNS bookkeeping (Table 9) across
+	// the restart.
+	Used bool
+}
+
+// Snapshot returns the live Clist in FIFO order (oldest first). Evicted
+// slots and entries with no remaining back-references are skipped; see
+// the package notes on compaction.
+func (r *Resolver) Snapshot() []SnapshotEntry {
+	out := make([]SnapshotEntry, 0, r.alive)
+	emit := func(e *Entry) {
+		if e == nil || !e.live || len(e.refs) == 0 {
+			return
+		}
+		se := SnapshotEntry{
+			// All of an entry's back-references share one client: they are
+			// appended only by the Insert call that created the entry.
+			Client: e.refs[0].client,
+			FQDN:   e.FQDN,
+			At:     e.At,
+			Used:   e.Used,
+		}
+		se.Servers = make([]netip.Addr, len(e.refs))
+		for i, ref := range e.refs {
+			se.Servers[i] = ref.server
+		}
+		out = append(out, se)
+	}
+	if len(r.clist) < r.cfg.ClistSize {
+		// Still filling: slots 0..len-1 are already FIFO order.
+		for _, e := range r.clist {
+			emit(e)
+		}
+		return out
+	}
+	// Wrapped ring: the oldest entry sits at next.
+	for i := r.next; i < len(r.clist); i++ {
+		emit(r.clist[i])
+	}
+	for i := 0; i < r.next; i++ {
+		emit(r.clist[i])
+	}
+	return out
+}
+
+// Restore replays a snapshot into the resolver, oldest entry first, so
+// the rebuilt Clist preserves the checkpointed FIFO (eviction) order. It
+// must be called on a fresh resolver, before any traffic; restoring over
+// live state inserts the snapshot as if it were new DNS responses.
+//
+// The activity counters (Stats) are left at zero — they describe the new
+// process's work, not the previous one's — except ClientsPeak, which
+// reflects the restored client population.
+func (r *Resolver) Restore(entries []SnapshotEntry) {
+	saved := r.stats
+	for i := range entries {
+		se := &entries[i]
+		if !se.Client.IsValid() || len(se.Servers) == 0 {
+			continue
+		}
+		r.Insert(se.Client, se.FQDN, se.Servers, se.At)
+		if se.Used {
+			// Insert filed the entry under every (client, server) pair;
+			// any of them resolves it. lookupNode bypasses the stats.
+			if n := r.lookupNode(se.Client, se.Servers[0]); n != nil {
+				n.entry.Used = true
+			}
+		}
+	}
+	peak := r.stats.ClientsPeak
+	r.stats = saved
+	if peak > r.stats.ClientsPeak {
+		r.stats.ClientsPeak = peak
+	}
+}
+
+// WriteSnapshot serializes entries to w in the versioned binary framing.
+func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeAddr := func(a netip.Addr) error {
+		b, err := a.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(len(b))); err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	if err := writeUvarint(uint64(len(entries))); err != nil {
+		return err
+	}
+	for i := range entries {
+		se := &entries[i]
+		if len(se.FQDN) > snapshotMaxFQDN {
+			return fmt.Errorf("resolver: snapshot entry %d: FQDN longer than %d", i, snapshotMaxFQDN)
+		}
+		if len(se.Servers) > snapshotMaxServers {
+			return fmt.Errorf("resolver: snapshot entry %d: %d servers exceeds %d", i, len(se.Servers), snapshotMaxServers)
+		}
+		if err := writeUvarint(uint64(len(se.FQDN))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(se.FQDN); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(se.At)); err != nil {
+			return err
+		}
+		used := byte(0)
+		if se.Used {
+			used = 1
+		}
+		if err := bw.WriteByte(used); err != nil {
+			return err
+		}
+		if err := writeAddr(se.Client); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(se.Servers))); err != nil {
+			return err
+		}
+		for _, s := range se.Servers {
+			if err := writeAddr(s); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadSnapshot reports a checkpoint stream that is not a (supported)
+// resolver snapshot.
+var ErrBadSnapshot = errors.New("resolver: not a clist snapshot")
+
+// ReadSnapshot parses a stream written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic)
+	}
+	readAddr := func() (netip.Addr, error) {
+		n, err := br.ReadByte()
+		if err != nil {
+			return netip.Addr{}, err
+		}
+		if n != 4 && n != 16 {
+			return netip.Addr{}, fmt.Errorf("address length %d", n)
+		}
+		var buf [16]byte
+		if _, err := io.ReadFull(br, buf[:n]); err != nil {
+			return netip.Addr{}, err
+		}
+		var a netip.Addr
+		if err := a.UnmarshalBinary(buf[:n]); err != nil {
+			return netip.Addr{}, err
+		}
+		return a, nil
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("resolver: snapshot count: %w", err)
+	}
+	// Cap the preallocation; a lying header still costs only appends.
+	entries := make([]SnapshotEntry, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		var se SnapshotEntry
+		flen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: %w", i, err)
+		}
+		if flen > snapshotMaxFQDN {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: FQDN length %d", i, flen)
+		}
+		fqdn := make([]byte, flen)
+		if _, err := io.ReadFull(br, fqdn); err != nil {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: %w", i, err)
+		}
+		se.FQDN = string(fqdn)
+		at, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: %w", i, err)
+		}
+		se.At = time.Duration(at)
+		used, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: %w", i, err)
+		}
+		se.Used = used != 0
+		if se.Client, err = readAddr(); err != nil {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: client: %w", i, err)
+		}
+		nsrv, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: %w", i, err)
+		}
+		if nsrv > snapshotMaxServers {
+			return nil, fmt.Errorf("resolver: snapshot entry %d: %d servers", i, nsrv)
+		}
+		se.Servers = make([]netip.Addr, nsrv)
+		for j := range se.Servers {
+			if se.Servers[j], err = readAddr(); err != nil {
+				return nil, fmt.Errorf("resolver: snapshot entry %d: server %d: %w", i, j, err)
+			}
+		}
+		entries = append(entries, se)
+	}
+	return entries, nil
+}

@@ -1,0 +1,163 @@
+package resolver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func ckClient(i int) netip.Addr { return netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}) }
+func ckServer(i int) netip.Addr { return netip.AddrFrom4([4]byte{93, 184, byte(i >> 8), byte(i)}) }
+
+// TestSnapshotRestoreRoundTrip: a restored resolver answers every lookup
+// the original answered, with the same FQDN and Used flag.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, kind := range []MapKind{MapHash, MapOrdered} {
+		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+			r := New(Config{ClistSize: 64, MapKind: kind})
+			for i := 0; i < 40; i++ {
+				servers := []netip.Addr{ckServer(2 * i), ckServer(2*i + 1)}
+				r.Insert(ckClient(i%8), fmt.Sprintf("host%d.example.com", i), servers, time.Duration(i)*time.Second)
+			}
+			// Mark a few entries used through the public lookup path.
+			for i := 0; i < 10; i++ {
+				if e, ok := r.LookupEntry(ckClient(i%8), ckServer(2*i)); ok {
+					e.Used = true
+				}
+			}
+
+			snap := r.Snapshot()
+			r2 := New(Config{ClistSize: 64, MapKind: kind})
+			r2.Restore(snap)
+			if st := r2.Stats(); st.Responses != 0 || st.Lookups != 0 {
+				t.Fatalf("restore polluted activity counters: %+v", st)
+			}
+
+			for i := 0; i < 40; i++ {
+				for _, srv := range []netip.Addr{ckServer(2 * i), ckServer(2*i + 1)} {
+					e1, ok1 := r.LookupEntry(ckClient(i%8), srv)
+					e2, ok2 := r2.LookupEntry(ckClient(i%8), srv)
+					if ok1 != ok2 {
+						t.Fatalf("entry %d/%v: hit %v vs restored %v", i, srv, ok1, ok2)
+					}
+					if !ok1 {
+						continue
+					}
+					if e1.FQDN != e2.FQDN || e1.At != e2.At || e1.Used != e2.Used {
+						t.Fatalf("entry %d/%v: (%q,%v,%v) vs restored (%q,%v,%v)",
+							i, srv, e1.FQDN, e1.At, e1.Used, e2.FQDN, e2.At, e2.Used)
+					}
+				}
+			}
+			if r.Clients() != r2.Clients() {
+				t.Fatalf("clients: %d vs restored %d", r.Clients(), r2.Clients())
+			}
+		})
+	}
+}
+
+// TestSnapshotPreservesEvictionOrder: after restore, continued inserts
+// evict the same entries the original resolver would have evicted.
+func TestSnapshotPreservesEvictionOrder(t *testing.T) {
+	const size = 16
+	mkInsert := func(r *Resolver, i int) {
+		r.Insert(ckClient(i), fmt.Sprintf("h%d.example.com", i), []netip.Addr{ckServer(i)}, time.Duration(i)*time.Second)
+	}
+	// Continuous run: 24 inserts through a 16-slot Clist.
+	cont := New(Config{ClistSize: size})
+	for i := 0; i < 24; i++ {
+		mkInsert(cont, i)
+	}
+	// Split run: 20 inserts, checkpoint, restore, 4 more.
+	first := New(Config{ClistSize: size})
+	for i := 0; i < 20; i++ {
+		mkInsert(first, i)
+	}
+	second := New(Config{ClistSize: size})
+	second.Restore(first.Snapshot())
+	for i := 20; i < 24; i++ {
+		mkInsert(second, i)
+	}
+	for i := 0; i < 24; i++ {
+		f1, ok1 := cont.Lookup(ckClient(i), ckServer(i))
+		f2, ok2 := second.Lookup(ckClient(i), ckServer(i))
+		if ok1 != ok2 || f1 != f2 {
+			t.Fatalf("key %d: continuous (%q,%v) vs restored (%q,%v)", i, f1, ok1, f2, ok2)
+		}
+	}
+}
+
+// TestSnapshotSkipsDeadEntries: replaced entries (no refs left) are
+// compacted out of the snapshot.
+func TestSnapshotSkipsDeadEntries(t *testing.T) {
+	r := New(Config{ClistSize: 8})
+	r.Insert(ckClient(1), "old.example.com", []netip.Addr{ckServer(1)}, 0)
+	r.Insert(ckClient(1), "new.example.com", []netip.Addr{ckServer(1)}, time.Second)
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot holds %d entries, want 1 (replaced entry compacted)", len(snap))
+	}
+	if snap[0].FQDN != "new.example.com" {
+		t.Fatalf("snapshot kept %q", snap[0].FQDN)
+	}
+}
+
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	entries := []SnapshotEntry{
+		{
+			Client:  ckClient(1),
+			Servers: []netip.Addr{ckServer(1), netip.MustParseAddr("2001:db8::1")},
+			FQDN:    "cdn.example.com",
+			At:      90 * time.Second,
+			Used:    true,
+		},
+		{
+			Client:  netip.MustParseAddr("2001:db8::99"),
+			Servers: []netip.Addr{ckServer(7)},
+			FQDN:    "v6.example.org",
+			At:      3 * time.Hour,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("read %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		w, g := entries[i], got[i]
+		if w.Client != g.Client || w.FQDN != g.FQDN || w.At != g.At || w.Used != g.Used || len(w.Servers) != len(g.Servers) {
+			t.Fatalf("entry %d: %+v vs %+v", i, w, g)
+		}
+		for j := range w.Servers {
+			if w.Servers[j] != g.Servers[j] {
+				t.Fatalf("entry %d server %d: %v vs %v", i, j, w.Servers[j], g.Servers[j])
+			}
+		}
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot at all"))); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+	// Truncated valid stream must error, not hang or return partial data.
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, []SnapshotEntry{{
+		Client: ckClient(1), Servers: []netip.Addr{ckServer(1)}, FQDN: "x.example.com",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

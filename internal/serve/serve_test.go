@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// runMetrics produces a ServeMetrics populated by a real engine run.
+func runMetrics(t *testing.T) *core.ServeMetrics {
+	t.Helper()
+	tr := synth.Generate(synth.QuickScenario(7))
+	srv := core.NewServer(core.EngineConfig{Shards: 2}, core.ServeConfig{Window: 10 * time.Minute})
+	if _, err := srv.Serve(context.Background(), tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	return srv.Metrics()
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr.Code, rr.Body.String()
+}
+
+func TestHealthz(t *testing.T) {
+	m := &core.ServeMetrics{}
+	s := New(Config{Metrics: m})
+	code, body := get(t, s.Handler(), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy: %d %q", code, body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s := New(Config{Metrics: runMetrics(t)})
+	code, body := get(t, s.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE dnhunter_packets_total counter",
+		"# TYPE dnhunter_heap_inuse_bytes gauge",
+		"dnhunter_flows_total ",
+		"dnhunter_windows_flushed_total ",
+		"dnhunter_ring_depth{shard=\"0\"} ",
+		"dnhunter_ring_depth{shard=\"1\"} ",
+		"dnhunter_draining 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "dnhunter_packets_total 0\n") {
+		t.Fatal("packet counter stayed zero after a real run")
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	s := New(Config{Metrics: runMetrics(t)})
+	code, body := get(t, s.Handler(), "/stats.json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var sm sample
+	if err := json.Unmarshal([]byte(body), &sm); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if sm.Packets == 0 || sm.Flows == 0 || sm.HeapInuse == 0 {
+		t.Fatalf("zeroed snapshot: %+v", sm)
+	}
+	if sm.Windows == 0 {
+		t.Fatal("no windows flushed in snapshot")
+	}
+}
+
+func TestScrapeRate(t *testing.T) {
+	m := &core.ServeMetrics{}
+	s := New(Config{Metrics: m})
+	get(t, s.Handler(), "/metrics") // anchor scrape
+	// Fake 1000 packets arriving between scrapes via a real engine run is
+	// overkill here; poke the sample path directly through two scrapes.
+	time.Sleep(5 * time.Millisecond)
+	_, body := get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "dnhunter_pkts_per_sec") {
+		t.Fatal("rate gauge missing")
+	}
+}
+
+func TestStartServesOverTCP(t *testing.T) {
+	s := New(Config{Listen: "127.0.0.1:0", Metrics: runMetrics(t)})
+	errs := make(chan error, 1)
+	if err := s.Start(errs); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "dnhunter_packets_total") {
+		t.Fatalf("TCP scrape: %d %q", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("serve error: %v", err)
+	}
+}
