@@ -7,8 +7,14 @@
 // Usage:
 //
 //	bench [-scenarios EU1-FTTH,DNS-CHURN,TRIVANTAGE] [-shards 1,4,8]
-//	      [-gomaxprocs 0] [-scale 0.35] [-seed 1] [-reps 3]
+//	      [-gomaxprocs 0] [-scale 0.35] [-seed 1] [-reps 3] [-analytics]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-out BENCH.json]
+//
+// -analytics runs every cell twice — once plain, once with the standard
+// streaming analytics pipeline (StreamingQueries) consuming the run's
+// flows inside the timed region — and emits both results, the second
+// with "analytics": true. benchcheck -analytics pairs them up and gates
+// the ns/pkt overhead of the sketch path.
 //
 // -gomaxprocs is a comma-separated list of GOMAXPROCS values to run every
 // (scenario, shards) cell under; 0 means "leave the runtime default". Each
@@ -97,8 +103,12 @@ type Result struct {
 	// the direct tax of allocation churn on the hot path.
 	GCCycles uint32 `json:"gc_cycles"`
 	// SpeedupVs1Shard is PktsPerSec over the shards=1 cell of the same
-	// (scenario, gomaxprocs) group; 0 when that group has no shards=1 cell.
+	// (scenario, gomaxprocs, analytics) group; 0 when that group has no
+	// shards=1 cell.
 	SpeedupVs1Shard float64 `json:"speedup_vs_1shard,omitempty"`
+	// Analytics marks cells that ran the streaming analytics pipeline
+	// over the run's flows inside the timed region.
+	Analytics bool `json:"analytics,omitempty"`
 	// Flows and DNSResponses let a reader sanity-check that the pipeline
 	// actually did the work (and that shard counts agree).
 	Flows        uint64 `json:"flows"`
@@ -116,6 +126,8 @@ func main() {
 	scale := flag.Float64("scale", 0.35, "scenario scale factor")
 	seed := flag.Uint64("seed", 1, "synthesis seed")
 	reps := flag.Int("reps", 3, "repetitions per cell (fastest wins)")
+	analyticsOn := flag.Bool("analytics", false,
+		"additionally run every cell with the streaming analytics pipeline enabled")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering all cells")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the last cell")
 	out := flag.String("out", "", "output JSON path (default stdout)")
@@ -180,33 +192,49 @@ func main() {
 				eff = defaultProcs
 			}
 			runtime.GOMAXPROCS(eff)
-			group := make([]Result, 0, len(shards))
+			variants := []bool{false}
+			if *analyticsOn {
+				variants = append(variants, true)
+			}
+			group := make([]Result, 0, len(shards)*len(variants))
 			for _, n := range shards {
-				cell, err := runCell(ctx, traces, n, *reps)
+				// The off/on variants of a cell interleave at the repetition
+				// level (inside runCells) so slow machine drift between
+				// minutes-apart measurements cannot masquerade as analytics
+				// overhead in the benchcheck -analytics pairing.
+				cells, err := runCells(ctx, traces, n, *reps, variants)
 				if err != nil {
 					log.Fatalf("%s gomaxprocs=%d shards=%d: %v", name, eff, n, err)
 				}
-				cell.Scenario = name
-				cell.Shards = n
-				cell.GOMAXPROCS = eff
-				cell.Packets = packets
-				cell.TraceBytes = traceBytes
-				log.Printf("%s gomaxprocs=%d shards=%d: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt, %.1f MB heap, %d GCs",
-					name, eff, n, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt,
-					float64(cell.HeapInuseBytes)/1e6, cell.GCCycles)
-				group = append(group, cell)
+				for i := range cells {
+					cell := &cells[i]
+					cell.Scenario = name
+					cell.Shards = n
+					cell.GOMAXPROCS = eff
+					cell.Packets = packets
+					cell.TraceBytes = traceBytes
+					suffix := ""
+					if cell.Analytics {
+						suffix = " analytics=on"
+					}
+					log.Printf("%s gomaxprocs=%d shards=%d%s: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt, %.1f MB heap, %d GCs",
+						name, eff, n, suffix, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt,
+						float64(cell.HeapInuseBytes)/1e6, cell.GCCycles)
+				}
+				group = append(group, cells...)
 			}
 			// Speedups are filled in after the group completes so the
-			// -shards order cannot hide the shards=1 baseline.
-			var base float64
+			// -shards order cannot hide the shards=1 baseline. Analytics-on
+			// cells scale against the analytics-on shards=1 cell.
+			base := map[bool]float64{}
 			for _, cell := range group {
 				if cell.Shards == 1 {
-					base = cell.PktsPerSec
+					base[cell.Analytics] = cell.PktsPerSec
 				}
 			}
 			for i := range group {
-				if base > 0 {
-					group[i].SpeedupVs1Shard = group[i].PktsPerSec / base
+				if b := base[group[i].Analytics]; b > 0 {
+					group[i].SpeedupVs1Shard = group[i].PktsPerSec / b
 				}
 			}
 			rep.Results = append(rep.Results, group...)
@@ -260,62 +288,86 @@ func generateTraces(name string, scale float64, seed uint64) []*dnhunter.Trace {
 	return []*dnhunter.Trace{dnhunter.GenerateTrace(name, scale, seed)}
 }
 
-// runCell replays the scenario's traces through an n-shard engine reps
-// times and keeps the fastest repetition's metrics. A single trace runs the
-// exact Run path; several run the concurrent multi-vantage path.
-func runCell(ctx context.Context, traces []*dnhunter.Trace, n, reps int) (Result, error) {
-	var best Result
+// runCells replays the scenario's traces through an n-shard engine reps
+// times per variant, interleaving the variants within each repetition,
+// and keeps each variant's fastest repetition. A single trace runs the
+// exact Run path; several run the concurrent multi-vantage path. The
+// analytics=true variant has the standard streaming query set consume
+// every finished flow inside the timed region — the cost benchcheck
+// -analytics gates.
+func runCells(ctx context.Context, traces []*dnhunter.Trace, n, reps int, variants []bool) ([]Result, error) {
+	best := make([]Result, len(variants))
 	packets := 0
 	for _, tr := range traces {
 		packets += len(tr.Packets)
 	}
 	for i := 0; i < reps; i++ {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		var (
-			stats dnhunter.Stats
-			err   error
-		)
-		if len(traces) == 1 {
-			var res *dnhunter.Result
-			res, err = dnhunter.NewEngine(dnhunter.WithShards(n)).RunTrace(ctx, traces[0])
-			if err == nil {
-				stats = res.Stats
+		for vi, analytics := range variants {
+			cell, err := runOnce(ctx, traces, n, packets, analytics)
+			if err != nil {
+				return nil, err
 			}
-		} else {
-			opts := []dnhunter.Option{dnhunter.WithShards(n)}
-			for _, tr := range traces {
-				opts = append(opts, dnhunter.WithTraceSource(tr.Scenario.Name, tr))
+			if i == 0 || cell.NsPerPkt < best[vi].NsPerPkt {
+				best[vi] = cell
 			}
-			var res *dnhunter.MultiResult
-			res, err = dnhunter.NewEngine(opts...).RunSources(ctx)
-			if err == nil {
-				stats = res.Merged.Stats
-			}
-		}
-		elapsed := time.Since(start)
-		if err != nil {
-			return Result{}, err
-		}
-		runtime.ReadMemStats(&after)
-		pkts := float64(packets)
-		cell := Result{
-			PktsPerSec:     pkts / elapsed.Seconds(),
-			NsPerPkt:       float64(elapsed.Nanoseconds()) / pkts,
-			AllocsPerPkt:   float64(after.Mallocs-before.Mallocs) / pkts,
-			BytesPerPkt:    float64(after.TotalAlloc-before.TotalAlloc) / pkts,
-			HeapInuseBytes: after.HeapInuse,
-			GCCycles:       after.NumGC - before.NumGC,
-			Flows:          stats.Flows,
-			DNSResponses:   stats.DNSResponses,
-		}
-		if i == 0 || cell.NsPerPkt < best.NsPerPkt {
-			best = cell
 		}
 	}
 	return best, nil
+}
+
+// runOnce times a single engine replay (plus, with analytics, the
+// streaming pipeline pass over its flows).
+func runOnce(ctx context.Context, traces []*dnhunter.Trace, n, packets int, analytics bool) (Result, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var (
+		stats dnhunter.Stats
+		db    *dnhunter.FlowDB
+		err   error
+	)
+	if len(traces) == 1 {
+		var res *dnhunter.Result
+		res, err = dnhunter.NewEngine(dnhunter.WithShards(n)).RunTrace(ctx, traces[0])
+		if err == nil {
+			stats, db = res.Stats, res.DB
+		}
+	} else {
+		opts := []dnhunter.Option{dnhunter.WithShards(n)}
+		for _, tr := range traces {
+			opts = append(opts, dnhunter.WithTraceSource(tr.Scenario.Name, tr))
+		}
+		var res *dnhunter.MultiResult
+		res, err = dnhunter.NewEngine(opts...).RunSources(ctx)
+		if err == nil {
+			stats, db = res.Merged.Stats, res.Merged.DB
+		}
+	}
+	if err == nil && analytics {
+		pipe := dnhunter.NewAnalyticsPipeline(dnhunter.StreamingQueries(traces[0].OrgDB)...)
+		pipe.ObserveDB(db)
+		if pipe.Observed() != stats.Flows {
+			err = fmt.Errorf("analytics observed %d flows, engine emitted %d", pipe.Observed(), stats.Flows)
+		}
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	runtime.ReadMemStats(&after)
+	pkts := float64(packets)
+	return Result{
+		Analytics:      analytics,
+		PktsPerSec:     pkts / elapsed.Seconds(),
+		NsPerPkt:       float64(elapsed.Nanoseconds()) / pkts,
+		AllocsPerPkt:   float64(after.Mallocs-before.Mallocs) / pkts,
+		BytesPerPkt:    float64(after.TotalAlloc-before.TotalAlloc) / pkts,
+		HeapInuseBytes: after.HeapInuse,
+		GCCycles:       after.NumGC - before.NumGC,
+		Flows:          stats.Flows,
+		DNSResponses:   stats.DNSResponses,
+	}, nil
 }
 
 // parseInts parses a comma-separated integer list, rejecting values below

@@ -11,6 +11,7 @@
 //	benchcheck -baseline bench_baseline.json -in bench.txt -metric allocs
 //	benchcheck -baseline bench_baseline.json -in bench.txt -update
 //	benchcheck -scaling BENCH.json -scaling-tolerance 10
+//	benchcheck -analytics BENCH.json -analytics-tolerance 10
 //
 // -scaling switches to the scaling gate: the input is a `cmd/bench` report
 // and every multi-shard cell must reach at least (1 - tolerance%) of the
@@ -20,6 +21,12 @@
 // recorded gomaxprocs is below its shard count only measures dispatch
 // overhead, and a machine with fewer CPUs than shards (meta.num_cpu) can
 // time-slice but not parallelize.
+//
+// -analytics gates the streaming-analytics overhead from a `cmd/bench
+// -analytics` report: for every (scenario, gomaxprocs, shards) pair with
+// both an analytics-off and an analytics-on cell, the on cell's ns/pkt
+// must stay within tolerance (default 10%) of the off cell's. The sketch
+// path is bounded-state by design; this pins it to bounded-*time* too.
 //
 // -metric selects what to gate: "allocs", "ns", "bytes", or "all" (the
 // default). Allocation counts are deterministic, so their tolerance is
@@ -99,10 +106,18 @@ func main() {
 	scalingTol := flag.Float64("scaling-tolerance", 10, "allowed multi-shard shortfall vs shards=1 in percent")
 	scalingMin := flag.Float64("scaling-min-speedup", 0,
 		"when > 0, additionally require gateable multi-shard cells to reach this speedup over shards=1 (e.g. 1.8)")
+	analytics := flag.String("analytics", "", "cmd/bench JSON report: gate analytics-on vs analytics-off ns/pkt instead")
+	analyticsTol := flag.Float64("analytics-tolerance", 10, "allowed analytics-on ns/pkt overhead in percent")
 	flag.Parse()
 
 	if *scaling != "" {
 		if err := checkScaling(*scaling, *scalingTol, *scalingMin); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *analytics != "" {
+		if err := checkAnalytics(*analytics, *analyticsTol); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -282,6 +297,8 @@ type benchCell struct {
 	Shards     int     `json:"shards"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	PktsPerSec float64 `json:"pkts_per_sec"`
+	NsPerPkt   float64 `json:"ns_per_pkt"`
+	Analytics  bool    `json:"analytics"`
 }
 
 // checkScaling enforces the sharding gate: within every (scenario,
@@ -302,13 +319,14 @@ func checkScaling(path string, tol, minSpeedup float64) error {
 		return fmt.Errorf("parsing %s: %v", path, err)
 	}
 	type groupKey struct {
-		scenario string
-		procs    int
+		scenario  string
+		procs     int
+		analytics bool
 	}
 	base := make(map[groupKey]float64)
 	for _, c := range rep.Results {
 		if c.Shards == 1 {
-			base[groupKey{c.Scenario, c.GOMAXPROCS}] = c.PktsPerSec
+			base[groupKey{c.Scenario, c.GOMAXPROCS, c.Analytics}] = c.PktsPerSec
 		}
 	}
 	failed, gated := false, 0
@@ -317,7 +335,10 @@ func checkScaling(path string, tol, minSpeedup float64) error {
 			continue
 		}
 		name := fmt.Sprintf("%s gomaxprocs=%d shards=%d", c.Scenario, c.GOMAXPROCS, c.Shards)
-		b, ok := base[groupKey{c.Scenario, c.GOMAXPROCS}]
+		if c.Analytics {
+			name += " analytics=on"
+		}
+		b, ok := base[groupKey{c.Scenario, c.GOMAXPROCS, c.Analytics}]
 		if !ok || b <= 0 {
 			log.Printf("skip %s: no shards=1 cell in its group", name)
 			continue
@@ -346,6 +367,63 @@ func checkScaling(path string, tol, minSpeedup float64) error {
 	}
 	if gated == 0 {
 		log.Printf("note: no gateable multi-shard cells (machine too small or matrix has no multi-shard runs)")
+	}
+	if failed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// checkAnalytics enforces the streaming-analytics overhead gate: for each
+// (scenario, gomaxprocs, shards) pair present with and without analytics,
+// the analytics-on cell's ns/pkt must be at most (1 + tol%) of the
+// analytics-off cell's. Pairs missing either side are reported and
+// skipped; a report with no pairs at all fails, because a misconfigured
+// bench run (missing -analytics) must not pass silently.
+func checkAnalytics(path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %v", path, err)
+	}
+	type cellKey struct {
+		scenario string
+		procs    int
+		shards   int
+	}
+	off := make(map[cellKey]float64)
+	for _, c := range rep.Results {
+		if !c.Analytics {
+			off[cellKey{c.Scenario, c.GOMAXPROCS, c.Shards}] = c.NsPerPkt
+		}
+	}
+	failed, gated := false, 0
+	for _, c := range rep.Results {
+		if !c.Analytics {
+			continue
+		}
+		name := fmt.Sprintf("%s gomaxprocs=%d shards=%d", c.Scenario, c.GOMAXPROCS, c.Shards)
+		b, ok := off[cellKey{c.Scenario, c.GOMAXPROCS, c.Shards}]
+		if !ok || b <= 0 {
+			log.Printf("skip %s: no analytics-off cell to compare against", name)
+			continue
+		}
+		overhead := 100 * (c.NsPerPkt/b - 1)
+		if c.NsPerPkt > b*(1+tol/100) {
+			log.Printf("FAIL %s: analytics adds %.1f%% ns/pkt (%.0f vs %.0f), tolerance %g%%",
+				name, overhead, c.NsPerPkt, b, tol)
+			failed = true
+		} else {
+			log.Printf("ok   %s: analytics adds %.1f%% ns/pkt (%.0f vs %.0f, tolerance %g%%)",
+				name, overhead, c.NsPerPkt, b, tol)
+		}
+		gated++
+	}
+	if gated == 0 {
+		return fmt.Errorf("%s has no analytics-on cells (was cmd/bench run with -analytics?)", path)
 	}
 	if failed {
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +37,7 @@ func runServe(args []string) {
 	window := fs.Duration("window", 5*time.Minute, "flow-store window width (trace time)")
 	shed := fs.Bool("shed", false, "shed load instead of stalling the reader when a shard backs up (needs -shards > 1)")
 	checkpoint := fs.String("checkpoint", "", "resolver checkpoint file: restored at start, rewritten after a clean drain")
+	analyticsOn := fs.Bool("analytics", false, "run the standard streaming analytics queries; adds /analytics.json and top-k gauges to /metrics")
 	spool := fs.String("spool", "", "directory receiving one CSV per completed window; empty discards windows")
 	shards := fs.Int("shards", 1, "parallel pipeline shards (-1 = one per CPU)")
 	clist := fs.Int("clist", 1<<20, "resolver Clist size L (per shard)")
@@ -97,6 +99,11 @@ func runServe(args []string) {
 			return spoolWindow(dir, w)
 		}
 	}
+	var pipe *dnhunter.AnalyticsPipeline
+	if *analyticsOn {
+		pipe = dnhunter.NewAnalyticsPipeline(dnhunter.StreamingQueries(nil)...)
+		scfg.ObserveWindow = pipe.ObserveWindow
+	}
 
 	eng := dnhunter.NewEngine(
 		dnhunter.WithShards(*shards),
@@ -104,7 +111,7 @@ func runServe(args []string) {
 	)
 	srv := eng.Server(scfg)
 
-	ms := serve.New(serve.Config{Listen: *listen, Metrics: srv.Metrics()})
+	ms := serve.New(serve.Config{Listen: *listen, Metrics: srv.Metrics(), Analytics: pipe})
 	httpErrs := make(chan error, 1)
 	if err := ms.Start(httpErrs); err != nil {
 		log.Fatal(err)
@@ -137,6 +144,10 @@ func runServe(args []string) {
 	if *checkpoint != "" {
 		fmt.Printf("checkpoint: restored %d entries, wrote %d to %s\n",
 			rep.RestoredEntries, rep.CheckpointedEntries, *checkpoint)
+	}
+	if pipe != nil {
+		fmt.Printf("analytics: observed %d flows across %s\n",
+			pipe.Observed(), strings.Join(pipe.Names(), ", "))
 	}
 }
 

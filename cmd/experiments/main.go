@@ -6,7 +6,8 @@
 //	experiments [-scale 1.0] [-seed 1] [-shards 1] [-live-days 18] [-only T2,F4,...]
 //
 // Experiment ids: T1–T9 (tables), F3–F14 (figures), XV (cross-vantage
-// multi-source analysis over the TRIVANTAGE scenario), A (ablations).
+// multi-source analysis over the TRIVANTAGE scenario), SK (sketch-based
+// streaming analytics vs their exact references), A (ablations).
 // -shards parallelizes the pipeline runs; results are identical at any
 // shard count.
 package main
@@ -123,6 +124,14 @@ func main() {
 	if run("XV") {
 		out, _ := s.CrossVantage()
 		section("XV", out)
+	}
+	if run("SK") {
+		out, ok := s.SketchVsExact()
+		section("SK", out)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "SK: sketch results outside documented error bounds")
+			os.Exit(1)
+		}
 	}
 	if run("A") {
 		out, _ := s.AblationClistSize([]int{64, 1024, 16384, 1 << 18})

@@ -194,6 +194,11 @@ func SpatialDiscovery(db *FlowDB, odb *OrgDB, name string) *analytics.SpatialRes
 
 // TopDomainsOnOrg runs Algorithm 3 (content discovery) over a hosting
 // organization, returning its top-k served domains by flow share.
+//
+// Deprecated: register NewTopContentQuery(org, odb, k) in a pipeline —
+// one ObserveDB pass then feeds every registered query, and the same
+// query runs incrementally under Engine.Serve. See the README's
+// analytics migration table.
 func TopDomainsOnOrg(db *FlowDB, odb *OrgDB, org string, k int) []analytics.ContentShare {
 	return analytics.TopDomainsOnOrg(db, odb, org, k)
 }

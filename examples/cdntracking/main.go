@@ -35,15 +35,18 @@ func main() {
 		fmt.Printf("  %-12s %4d servers %6.1f%% of flows\n", h.Org, h.Servers, 100*h.FlowShare)
 	}
 
-	// Content discovery (Algorithm 3): what does Amazon's cloud host here?
-	fmt.Println("\n== content discovery: amazon ==")
-	for i, c := range dnhunter.TopDomainsOnOrg(db, orgs, "amazon", 10) {
-		fmt.Printf("  %2d. %-24s %5.1f%%\n", i+1, c.Name, 100*c.Share)
-	}
-
-	// And Akamai, for contrast.
-	fmt.Println("\n== content discovery: akamai ==")
-	for i, c := range dnhunter.TopDomainsOnOrg(db, orgs, "akamai", 5) {
-		fmt.Printf("  %2d. %-24s %5.1f%%\n", i+1, c.Name, 100*c.Share)
+	// Content discovery (Algorithm 3): what do the clouds host here? One
+	// pipeline walks the DB once and feeds every registered query.
+	pipe := dnhunter.NewAnalyticsPipeline(
+		dnhunter.NewTopContentQuery("amazon", orgs, 10),
+		dnhunter.NewTopContentQuery("akamai", orgs, 5),
+	)
+	pipe.ObserveDB(db)
+	for _, org := range []string{"amazon", "akamai"} {
+		fmt.Printf("\n== content discovery: %s ==\n", org)
+		q, _ := pipe.Query("top_content:" + org)
+		for i, c := range q.Snapshot().([]dnhunter.ContentShare) {
+			fmt.Printf("  %2d. %-24s %5.1f%%\n", i+1, c.Name, 100*c.Share)
+		}
 	}
 }

@@ -44,9 +44,10 @@ type Anomaly struct {
 	Detail string
 }
 
-// OrgLookup resolves an address to an owning organization; orgdb.DB
-// satisfies it.
-type OrgLookup interface {
+// OrgDB resolves an address to an owning organization; orgdb.DB
+// satisfies it. (Distinct from OrgLookup, the per-vantage func type the
+// Query pipeline uses.)
+type OrgDB interface {
 	Lookup(netip.Addr) (string, bool)
 }
 
@@ -57,7 +58,7 @@ type OrgLookup interface {
 type MappingMonitor struct {
 	// MinObservations before a name can alarm (default 3).
 	MinObservations int
-	odb             OrgLookup
+	odb             OrgDB
 	names           map[string]*nameBaseline
 	anomalies       []Anomaly
 	// Suppressed counts changes ignored during learning.
@@ -81,7 +82,7 @@ func (nb *nameBaseline) orgList() []string {
 }
 
 // NewMappingMonitor creates a monitor joined against the org database.
-func NewMappingMonitor(odb OrgLookup) *MappingMonitor {
+func NewMappingMonitor(odb OrgDB) *MappingMonitor {
 	return &MappingMonitor{
 		MinObservations: 3,
 		odb:             odb,

@@ -1,0 +1,736 @@
+package analytics
+
+// Exact reference implementations of the Query interface. These keep the
+// full key sets in memory — paper-fidelity results, unbounded state —
+// and exist for batch runs and as the ground truth the stream
+// subpackage's sketches are differential-tested against. The historical
+// free functions (ProviderUsage, CrossVantageFootprint, TopDomainsOnOrg)
+// are now deprecated wrappers over these queries; see the README's
+// analytics migration table.
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/flowdb"
+	"repro/internal/flows"
+	"repro/internal/stats"
+)
+
+// mergeAs asserts other is the same concrete query type and name as q.
+func mergeAs[T interface{ Name() string }](q T, other Query) (T, error) {
+	o, ok := other.(T)
+	if !ok || o.Name() != q.Name() {
+		return o, fmt.Errorf("analytics: cannot merge %T(%q) into %T(%q)", other, other.Name(), q, q.Name())
+	}
+	return o, nil
+}
+
+// exactTopK counts keys exactly in a map; the reference for the stream
+// subpackage's space-saving sketch.
+type exactTopK struct {
+	name   string
+	k      int
+	key    func(f *flowdb.LabeledFlow) string // "" skips the flow
+	counts map[string]uint64
+	total  uint64
+}
+
+// NewExactTopDomains counts flows per FQDN label exactly; Snapshot
+// returns TopKResult. Reference for stream.NewTopDomains.
+func NewExactTopDomains(k int) Query {
+	return &exactTopK{name: "top_domains", k: k, counts: map[string]uint64{},
+		key: func(f *flowdb.LabeledFlow) string {
+			if !f.Labeled {
+				return ""
+			}
+			return f.Label
+		}}
+}
+
+// NewExactTopSLDs counts flows per second-level domain exactly; Snapshot
+// returns TopKResult. Reference for stream.NewTopSLDs.
+func NewExactTopSLDs(k int) Query {
+	return &exactTopK{name: "top_slds", k: k, counts: map[string]uint64{},
+		key: func(f *flowdb.LabeledFlow) string {
+			if !f.Labeled {
+				return ""
+			}
+			return f.SLD
+		}}
+}
+
+// NewExactTopOrgs counts labeled flows per hosting organization exactly;
+// Snapshot returns TopKResult. Reference for stream.NewTopOrgs.
+func NewExactTopOrgs(lookup OrgLookup, k int) Query {
+	return &exactTopK{name: "top_orgs", k: k, counts: map[string]uint64{},
+		key: func(f *flowdb.LabeledFlow) string {
+			if !f.Labeled {
+				return ""
+			}
+			return orgOrUnknown(lookup, f.Vantage, f.Key.ServerIP)
+		}}
+}
+
+func (q *exactTopK) Name() string { return q.name }
+
+func (q *exactTopK) Observe(f *flowdb.LabeledFlow) {
+	if key := q.key(f); key != "" {
+		q.counts[key]++
+		q.total++
+	}
+}
+
+func (q *exactTopK) Merge(other Query) error {
+	o, err := mergeAs(q, other)
+	if err != nil {
+		return err
+	}
+	//dnhunter:unordered-ok pointwise sum into a map; commutative per key
+	for key, n := range o.counts {
+		q.counts[key] += n
+	}
+	q.total += o.total
+	return nil
+}
+
+func (q *exactTopK) Snapshot() Result {
+	entries := make([]TopEntry, 0, len(q.counts))
+	//dnhunter:unordered-ok rows are fully sorted below before use
+	for key, n := range q.counts {
+		entries = append(entries, TopEntry{Key: key, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if q.k > 0 && len(entries) > q.k {
+		entries = entries[:q.k]
+	}
+	return TopKResult{K: q.k, Observed: q.total, Entries: entries}
+}
+
+// exactCardinality tracks exact distinct-server sets per SLD; the
+// reference for stream.NewSLDFootprint.
+type exactCardinality struct {
+	k      int
+	perSLD map[string]map[netip.Addr]struct{}
+	all    map[netip.Addr]struct{}
+}
+
+// NewExactSLDFootprint tracks the exact distinct server addresses
+// serving each SLD; Snapshot returns CardinalityResult. Reference for
+// stream.NewSLDFootprint.
+func NewExactSLDFootprint(k int) Query {
+	return &exactCardinality{k: k,
+		perSLD: map[string]map[netip.Addr]struct{}{},
+		all:    map[netip.Addr]struct{}{}}
+}
+
+func (q *exactCardinality) Name() string { return "sld_server_footprint" }
+
+func (q *exactCardinality) Observe(f *flowdb.LabeledFlow) {
+	if !f.Labeled {
+		return
+	}
+	set, ok := q.perSLD[f.SLD]
+	if !ok {
+		set = map[netip.Addr]struct{}{}
+		q.perSLD[f.SLD] = set
+	}
+	set[f.Key.ServerIP] = struct{}{}
+	q.all[f.Key.ServerIP] = struct{}{}
+}
+
+func (q *exactCardinality) Merge(other Query) error {
+	o, err := mergeAs(q, other)
+	if err != nil {
+		return err
+	}
+	//dnhunter:unordered-ok set unions keyed by SLD and address; order-free
+	for sld, set := range o.perSLD {
+		dst, ok := q.perSLD[sld]
+		if !ok {
+			dst = map[netip.Addr]struct{}{}
+			q.perSLD[sld] = dst
+		}
+		for a := range set {
+			dst[a] = struct{}{}
+		}
+	}
+	//dnhunter:unordered-ok set union; order-free
+	for a := range o.all {
+		q.all[a] = struct{}{}
+	}
+	return nil
+}
+
+func (q *exactCardinality) Snapshot() Result {
+	entries := make([]CardinalityEntry, 0, len(q.perSLD))
+	//dnhunter:unordered-ok rows are fully sorted below before use
+	for sld, set := range q.perSLD {
+		entries = append(entries, CardinalityEntry{Key: sld, Count: float64(len(set))})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	tracked := len(entries)
+	if q.k > 0 && len(entries) > q.k {
+		entries = entries[:q.k]
+	}
+	return CardinalityResult{K: q.k, TrackedKeys: tracked, Total: float64(len(q.all)), Entries: entries}
+}
+
+// exactProviderUsage is the Query form of the historical ProviderUsage
+// free function; Snapshot returns the same *ProviderFootprint.
+type exactProviderUsage struct {
+	lookup OrgLookup
+	k      int
+	// seeded vantages render first, in constructor order, even with zero
+	// flows (matching the free function's input-order contract); vantages
+	// first seen in the stream follow, sorted, so merge order cannot
+	// change the snapshot.
+	seeded  []string
+	seen    map[string]bool
+	labeled map[string]int
+	flows   map[string]map[string]int
+	servers map[string]map[string]map[netip.Addr]struct{}
+}
+
+// NewExactProviderUsage builds the exact cross-vantage provider
+// footprint (Snapshot returns *ProviderFootprint), keeping the k hosting
+// orgs with the most total flows (k <= 0 keeps all). Seeded vantage
+// names appear in the result in the given order even when no flows carry
+// them; unseeded vantages found in the stream are appended sorted.
+func NewExactProviderUsage(lookup OrgLookup, k int, vantages ...string) Query {
+	q := &exactProviderUsage{
+		lookup:  lookup,
+		k:       k,
+		seen:    map[string]bool{},
+		labeled: map[string]int{},
+		flows:   map[string]map[string]int{},
+		servers: map[string]map[string]map[netip.Addr]struct{}{},
+	}
+	for _, v := range vantages {
+		if !q.seen[v] {
+			q.seen[v] = true
+			q.seeded = append(q.seeded, v)
+			q.labeled[v] = 0
+		}
+	}
+	return q
+}
+
+func (q *exactProviderUsage) Name() string { return "provider_usage" }
+
+func (q *exactProviderUsage) Observe(f *flowdb.LabeledFlow) {
+	if !f.Labeled {
+		return
+	}
+	v := f.Vantage
+	q.seen[v] = true
+	q.labeled[v]++
+	org := orgOrUnknown(q.lookup, v, f.Key.ServerIP)
+	vf, ok := q.flows[v]
+	if !ok {
+		vf = map[string]int{}
+		q.flows[v] = vf
+	}
+	vf[org]++
+	vs, ok := q.servers[v]
+	if !ok {
+		vs = map[string]map[netip.Addr]struct{}{}
+		q.servers[v] = vs
+	}
+	set, ok := vs[org]
+	if !ok {
+		set = map[netip.Addr]struct{}{}
+		vs[org] = set
+	}
+	set[f.Key.ServerIP] = struct{}{}
+}
+
+func (q *exactProviderUsage) Merge(other Query) error {
+	o, err := mergeAs(q, other)
+	if err != nil {
+		return err
+	}
+	//dnhunter:unordered-ok keyed sums and set unions; order-free
+	for v := range o.seen {
+		q.seen[v] = true
+	}
+	//dnhunter:unordered-ok keyed sums; order-free
+	for v, n := range o.labeled {
+		q.labeled[v] += n
+	}
+	//dnhunter:unordered-ok keyed sums; order-free
+	for v, vf := range o.flows {
+		dst, ok := q.flows[v]
+		if !ok {
+			dst = map[string]int{}
+			q.flows[v] = dst
+		}
+		for org, n := range vf {
+			dst[org] += n
+		}
+	}
+	//dnhunter:unordered-ok set unions; order-free
+	for v, vs := range o.servers {
+		dst, ok := q.servers[v]
+		if !ok {
+			dst = map[string]map[netip.Addr]struct{}{}
+			q.servers[v] = dst
+		}
+		//dnhunter:unordered-ok set unions keyed by org; order-free
+		for org, set := range vs {
+			d, ok := dst[org]
+			if !ok {
+				d = map[netip.Addr]struct{}{}
+				dst[org] = d
+			}
+			for a := range set {
+				d[a] = struct{}{}
+			}
+		}
+	}
+	return nil
+}
+
+// vantageOrder lists seeded vantages in constructor order, then every
+// other observed vantage sorted by name.
+func (q *exactProviderUsage) vantageOrder() []string {
+	out := append([]string(nil), q.seeded...)
+	inSeed := map[string]bool{}
+	for _, v := range q.seeded {
+		inSeed[v] = true
+	}
+	var rest []string
+	//dnhunter:unordered-ok collected then sorted below
+	for v := range q.seen {
+		if !inSeed[v] {
+			rest = append(rest, v)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+func (q *exactProviderUsage) Snapshot() Result {
+	pf := &ProviderFootprint{
+		Share:        make(map[string]map[string]float64),
+		Servers:      make(map[string]map[string]int),
+		LabeledFlows: make(map[string]int),
+	}
+	totals := make(map[string]int)
+	for _, v := range q.vantageOrder() {
+		pf.Vantages = append(pf.Vantages, v)
+		labeled := q.labeled[v]
+		pf.LabeledFlows[v] = labeled
+		share := make(map[string]float64, len(q.flows[v]))
+		srv := make(map[string]int, len(q.servers[v]))
+		//dnhunter:unordered-ok keyed map writes only; shares and counts land in maps
+		for org, n := range q.flows[v] {
+			totals[org] += n
+			if labeled > 0 {
+				share[org] = float64(n) / float64(labeled)
+			}
+			srv[org] = len(q.servers[v][org])
+		}
+		pf.Share[v] = share
+		pf.Servers[v] = srv
+	}
+	for org := range totals {
+		pf.Orgs = append(pf.Orgs, org)
+	}
+	sort.Slice(pf.Orgs, func(i, j int) bool {
+		if totals[pf.Orgs[i]] != totals[pf.Orgs[j]] {
+			return totals[pf.Orgs[i]] > totals[pf.Orgs[j]]
+		}
+		return pf.Orgs[i] < pf.Orgs[j]
+	})
+	if q.k > 0 && len(pf.Orgs) > q.k {
+		pf.Orgs = pf.Orgs[:q.k]
+	}
+	return pf
+}
+
+// exactCrossVantage is the Query form of CrossVantageFootprint; Snapshot
+// returns the same *CrossVantage.
+type exactCrossVantage struct {
+	sld    string
+	lookup OrgLookup
+	seeded []string
+	seen   map[string]bool
+	per    map[string]*cvVantage
+}
+
+type cvVantage struct {
+	total   int
+	perOrg  map[string]*cvAgg
+	perFQDN map[string]map[netip.Addr]struct{}
+	servers map[netip.Addr]struct{}
+}
+
+type cvAgg struct {
+	servers map[netip.Addr]struct{}
+	fqdns   map[string]struct{}
+	flows   int
+}
+
+// NewExactCrossVantage builds the exact cross-vantage CDN-overlap query
+// for one content organization (Snapshot returns *CrossVantage). The
+// query name embeds the SLD, so one pipeline can track several.
+func NewExactCrossVantage(name string, lookup OrgLookup, vantages ...string) Query {
+	q := &exactCrossVantage{sld: stats.SLD(name), lookup: lookup, seen: map[string]bool{}, per: map[string]*cvVantage{}}
+	for _, v := range vantages {
+		if !q.seen[v] {
+			q.seen[v] = true
+			q.seeded = append(q.seeded, v)
+		}
+	}
+	return q
+}
+
+func (q *exactCrossVantage) Name() string { return "cross_vantage:" + q.sld }
+
+func (q *exactCrossVantage) vantage(v string) *cvVantage {
+	cv, ok := q.per[v]
+	if !ok {
+		cv = &cvVantage{
+			perOrg:  map[string]*cvAgg{},
+			perFQDN: map[string]map[netip.Addr]struct{}{},
+			servers: map[netip.Addr]struct{}{},
+		}
+		q.per[v] = cv
+	}
+	return cv
+}
+
+func (q *exactCrossVantage) Observe(f *flowdb.LabeledFlow) {
+	if !f.Labeled || f.SLD != q.sld {
+		return
+	}
+	q.seen[f.Vantage] = true
+	cv := q.vantage(f.Vantage)
+	cv.total++
+	org := orgOrUnknown(q.lookup, f.Vantage, f.Key.ServerIP)
+	a, ok := cv.perOrg[org]
+	if !ok {
+		a = &cvAgg{servers: map[netip.Addr]struct{}{}, fqdns: map[string]struct{}{}}
+		cv.perOrg[org] = a
+	}
+	a.servers[f.Key.ServerIP] = struct{}{}
+	a.fqdns[f.Label] = struct{}{}
+	a.flows++
+	set, ok := cv.perFQDN[f.Label]
+	if !ok {
+		set = map[netip.Addr]struct{}{}
+		cv.perFQDN[f.Label] = set
+	}
+	set[f.Key.ServerIP] = struct{}{}
+	cv.servers[f.Key.ServerIP] = struct{}{}
+}
+
+func (q *exactCrossVantage) Merge(other Query) error {
+	o, err := mergeAs(q, other)
+	if err != nil {
+		return err
+	}
+	//dnhunter:unordered-ok set unions and keyed sums; order-free
+	for v := range o.seen {
+		q.seen[v] = true
+	}
+	//dnhunter:unordered-ok set unions and keyed sums; order-free
+	for v, ocv := range o.per {
+		cv := q.vantage(v)
+		cv.total += ocv.total
+		//dnhunter:unordered-ok keyed sums and set unions; order-free
+		for org, oa := range ocv.perOrg {
+			a, ok := cv.perOrg[org]
+			if !ok {
+				a = &cvAgg{servers: map[netip.Addr]struct{}{}, fqdns: map[string]struct{}{}}
+				cv.perOrg[org] = a
+			}
+			a.flows += oa.flows
+			for s := range oa.servers {
+				a.servers[s] = struct{}{}
+			}
+			for f := range oa.fqdns {
+				a.fqdns[f] = struct{}{}
+			}
+		}
+		//dnhunter:unordered-ok set unions keyed by FQDN; order-free
+		for fqdn, set := range ocv.perFQDN {
+			dst, ok := cv.perFQDN[fqdn]
+			if !ok {
+				dst = map[netip.Addr]struct{}{}
+				cv.perFQDN[fqdn] = dst
+			}
+			for s := range set {
+				dst[s] = struct{}{}
+			}
+		}
+		for s := range ocv.servers {
+			cv.servers[s] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// vantageOrder mirrors exactProviderUsage's: seeded order, then sorted.
+func (q *exactCrossVantage) vantageOrder() []string {
+	out := append([]string(nil), q.seeded...)
+	inSeed := map[string]bool{}
+	for _, v := range q.seeded {
+		inSeed[v] = true
+	}
+	var rest []string
+	//dnhunter:unordered-ok collected then sorted below
+	for v := range q.seen {
+		if !inSeed[v] {
+			rest = append(rest, v)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+func (q *exactCrossVantage) Snapshot() Result {
+	order := q.vantageOrder()
+	cv := &CrossVantage{SLD: q.sld, Per: make(map[string]*SpatialResult)}
+	hostSets := make([]map[string]struct{}, len(order))
+	serverSets := make([]map[netip.Addr]struct{}, len(order))
+	for i, v := range order {
+		cv.Vantages = append(cv.Vantages, v)
+		st := q.per[v]
+		if st == nil {
+			st = &cvVantage{perOrg: map[string]*cvAgg{}, perFQDN: map[string]map[netip.Addr]struct{}{}, servers: map[netip.Addr]struct{}{}}
+		}
+		res := &SpatialResult{SLD: q.sld, PerFQDN: make(map[string][]netip.Addr), TotalFlows: st.total}
+		//dnhunter:unordered-ok keyed copy; each PerFQDN slice is sorted on build
+		for fqdn, set := range st.perFQDN {
+			res.PerFQDN[fqdn] = sortedAddrs(set)
+		}
+		//dnhunter:unordered-ok rows are fully sorted below before use
+		for org, a := range st.perOrg {
+			hs := HostShare{Org: org, Servers: len(a.servers), Flows: a.flows}
+			if st.total > 0 {
+				hs.FlowShare = float64(a.flows) / float64(st.total)
+			}
+			for f := range a.fqdns {
+				hs.FQDNs = append(hs.FQDNs, f)
+			}
+			sort.Strings(hs.FQDNs)
+			res.Hosts = append(res.Hosts, hs)
+		}
+		sort.Slice(res.Hosts, func(i, j int) bool {
+			if res.Hosts[i].Flows != res.Hosts[j].Flows {
+				return res.Hosts[i].Flows > res.Hosts[j].Flows
+			}
+			return res.Hosts[i].Org < res.Hosts[j].Org
+		})
+		cv.Per[v] = res
+		hosts := make(map[string]struct{}, len(res.Hosts))
+		for _, hs := range res.Hosts {
+			hosts[hs.Org] = struct{}{}
+		}
+		hostSets[i] = hosts
+		serverSets[i] = st.servers
+	}
+	cv.HostOverlap = make([][]float64, len(order))
+	cv.ServerOverlap = make([][]float64, len(order))
+	for i := range order {
+		cv.HostOverlap[i] = make([]float64, len(order))
+		cv.ServerOverlap[i] = make([]float64, len(order))
+		for j := range order {
+			cv.HostOverlap[i][j] = jaccard(hostSets[i], hostSets[j])
+			cv.ServerOverlap[i][j] = jaccard(serverSets[i], serverSets[j])
+		}
+	}
+	return cv
+}
+
+func sortedAddrs(set map[netip.Addr]struct{}) []netip.Addr {
+	out := make([]netip.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// exactTopContent is the Query form of TopDomainsOnOrg / ContentDiscovery
+// restricted to one hosting org; Snapshot returns []ContentShare.
+type exactTopContent struct {
+	org       string
+	lookup    OrgLookup
+	g         Granularity
+	k         int
+	perClient map[string]map[netip.Addr]int
+	flowsPer  map[string]int
+	total     int
+}
+
+// NewExactTopContent builds the Table 5 content-discovery query: the
+// top-k names (per the granularity) among labeled flows served from the
+// given hosting organization's addresses. Snapshot returns
+// []ContentShare, identical to TopDomainsOnOrg on the same flows.
+func NewExactTopContent(org string, lookup OrgLookup, g Granularity, k int) Query {
+	return &exactTopContent{org: org, lookup: lookup, g: g, k: k,
+		perClient: map[string]map[netip.Addr]int{}, flowsPer: map[string]int{}}
+}
+
+func (q *exactTopContent) Name() string { return "top_content:" + q.org }
+
+func (q *exactTopContent) Observe(f *flowdb.LabeledFlow) {
+	if !f.Labeled || q.lookup == nil {
+		return
+	}
+	org, ok := q.lookup(f.Vantage, f.Key.ServerIP)
+	if !ok || org != q.org {
+		return
+	}
+	name := f.Label
+	if q.g == BySLD {
+		name = f.SLD
+	}
+	m, ok := q.perClient[name]
+	if !ok {
+		m = map[netip.Addr]int{}
+		q.perClient[name] = m
+	}
+	m[f.Key.ClientIP]++
+	q.flowsPer[name]++
+	q.total++
+}
+
+func (q *exactTopContent) Merge(other Query) error {
+	o, err := mergeAs(q, other)
+	if err != nil {
+		return err
+	}
+	//dnhunter:unordered-ok keyed sums; order-free
+	for name, m := range o.perClient {
+		dst, ok := q.perClient[name]
+		if !ok {
+			dst = map[netip.Addr]int{}
+			q.perClient[name] = dst
+		}
+		for c, n := range m {
+			dst[c] += n
+		}
+	}
+	//dnhunter:unordered-ok keyed sums; order-free
+	for name, n := range o.flowsPer {
+		q.flowsPer[name] += n
+	}
+	q.total += o.total
+	return nil
+}
+
+func (q *exactTopContent) Snapshot() Result {
+	out := make([]ContentShare, 0, len(q.flowsPer))
+	//dnhunter:unordered-ok rows are fully sorted below before use
+	for name, n := range q.flowsPer {
+		cs := ContentShare{Name: name, Flows: n, Score: logScore(q.perClient[name])}
+		if q.total > 0 {
+			cs.Share = float64(n) / float64(q.total)
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flows != out[j].Flows {
+			return out[i].Flows > out[j].Flows
+		}
+		return out[i].Name < out[j].Name
+	})
+	if q.k > 0 && len(out) > q.k {
+		out = out[:q.k]
+	}
+	return out
+}
+
+// exactCoverage is the streaming form of flowdb.DB.Coverage; Snapshot
+// returns CoverageResult.
+type exactCoverage struct {
+	warmup         time.Duration
+	total, labeled [int(flows.L7DNS) + 1]uint64
+}
+
+// NewExactCoverage counts per-protocol tagging coverage for flows
+// starting at or after warmup (Table 2's measurement). Snapshot returns
+// CoverageResult; equivalent to flowdb.DB.Coverage on the same flows.
+func NewExactCoverage(warmup time.Duration) Query {
+	return &exactCoverage{warmup: warmup}
+}
+
+func (q *exactCoverage) Name() string { return "coverage" }
+
+func (q *exactCoverage) Observe(f *flowdb.LabeledFlow) {
+	if f.Start < q.warmup || int(f.L7) >= len(q.total) {
+		return
+	}
+	q.total[f.L7]++
+	if f.Labeled {
+		q.labeled[f.L7]++
+	}
+}
+
+func (q *exactCoverage) Merge(other Query) error {
+	o, err := mergeAs(q, other)
+	if err != nil {
+		return err
+	}
+	for i := range q.total {
+		q.total[i] += o.total[i]
+		q.labeled[i] += o.labeled[i]
+	}
+	return nil
+}
+
+func (q *exactCoverage) Snapshot() Result {
+	res := CoverageResult{WarmupSeconds: q.warmup.Seconds()}
+	for i := range q.total {
+		if q.total[i] == 0 {
+			continue
+		}
+		pc := ProtoCoverage{Proto: flows.L7Proto(i).String(), Total: q.total[i], Labeled: q.labeled[i]}
+		pc.Ratio = float64(pc.Labeled) / float64(pc.Total)
+		res.Protocols = append(res.Protocols, pc)
+	}
+	return res
+}
+
+// ObserveVantages feeds every vantage's database through the pipeline,
+// stamping each flow with its vantage name so per-vantage queries
+// partition correctly even when the databases were built without stamps
+// (as single-source Engine runs are). One pass feeds every registered
+// query — the batch replacement for calling N free functions that each
+// re-walk the databases.
+func ObserveVantages(p *Pipeline, vantages []VantageData) {
+	for _, v := range vantages {
+		recs := v.DB.All()
+		for i := range recs {
+			f := recs[i]
+			f.Vantage = v.Name
+			p.Observe(&f)
+		}
+	}
+}
+
+// VantageNames extracts the names of a vantage set, in order — the seed
+// list for NewExactProviderUsage / NewExactCrossVantage.
+func VantageNames(vantages []VantageData) []string {
+	out := make([]string, len(vantages))
+	for i, v := range vantages {
+		out[i] = v.Name
+	}
+	return out
+}

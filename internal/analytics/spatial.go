@@ -216,59 +216,15 @@ type ProviderFootprint struct {
 // ProviderUsage computes the cross-vantage provider footprint over every
 // labeled flow of each vantage, keeping the k hosting orgs with the most
 // total flows (k <= 0 keeps all).
+//
+// Deprecated: register NewExactProviderUsage (or the sketch-based
+// stream.NewProviderUsage) in a Pipeline and feed it with
+// ObserveVantages; this wrapper re-walks the databases for one query,
+// where a Pipeline walks them once for all registered queries.
 func ProviderUsage(vantages []VantageData, k int) *ProviderFootprint {
-	pf := &ProviderFootprint{
-		Share:        make(map[string]map[string]float64),
-		Servers:      make(map[string]map[string]int),
-		LabeledFlows: make(map[string]int),
-	}
-	totals := make(map[string]int)
-	for _, v := range vantages {
-		pf.Vantages = append(pf.Vantages, v.Name)
-		flowsPer := make(map[string]int)
-		servers := make(map[string]map[netip.Addr]struct{})
-		labeled := 0
-		for _, f := range v.DB.All() {
-			if !f.Labeled {
-				continue
-			}
-			labeled++
-			org, ok := v.Orgs.Lookup(f.Key.ServerIP)
-			if !ok {
-				org = "unknown"
-			}
-			flowsPer[org]++
-			totals[org]++
-			if servers[org] == nil {
-				servers[org] = make(map[netip.Addr]struct{})
-			}
-			servers[org][f.Key.ServerIP] = struct{}{}
-		}
-		pf.LabeledFlows[v.Name] = labeled
-		share := make(map[string]float64, len(flowsPer))
-		srv := make(map[string]int, len(servers))
-		//dnhunter:unordered-ok keyed map writes only; shares and counts land in maps
-		for org, n := range flowsPer {
-			if labeled > 0 {
-				share[org] = float64(n) / float64(labeled)
-			}
-			srv[org] = len(servers[org])
-		}
-		pf.Share[v.Name] = share
-		pf.Servers[v.Name] = srv
-	}
-	for org := range totals {
-		pf.Orgs = append(pf.Orgs, org)
-	}
-	sort.Slice(pf.Orgs, func(i, j int) bool {
-		if totals[pf.Orgs[i]] != totals[pf.Orgs[j]] {
-			return totals[pf.Orgs[i]] > totals[pf.Orgs[j]]
-		}
-		return pf.Orgs[i] < pf.Orgs[j]
-	})
-	if k > 0 && len(pf.Orgs) > k {
-		pf.Orgs = pf.Orgs[:k]
-	}
+	p := NewPipeline(NewExactProviderUsage(OrgLookupVantages(vantages), k, VantageNames(vantages)...))
+	ObserveVantages(p, vantages)
+	pf, _ := p.Snapshot()[0].Result.(*ProviderFootprint)
 	return pf
 }
 
@@ -314,35 +270,14 @@ type CrossVantage struct {
 
 // CrossVantageFootprint runs SpatialDiscovery for name at every vantage and
 // computes the pairwise infrastructure overlaps.
+//
+// Deprecated: register NewExactCrossVantage in a Pipeline and feed it
+// with ObserveVantages; one pass over the databases then serves every
+// registered SLD (and any other query) at once.
 func CrossVantageFootprint(vantages []VantageData, name string) *CrossVantage {
-	cv := &CrossVantage{SLD: stats.SLD(name), Per: make(map[string]*SpatialResult)}
-	hostSets := make([]map[string]struct{}, len(vantages))
-	serverSets := make([]map[netip.Addr]struct{}, len(vantages))
-	for i, v := range vantages {
-		cv.Vantages = append(cv.Vantages, v.Name)
-		res := SpatialDiscovery(v.DB, v.Orgs, name)
-		cv.Per[v.Name] = res
-		hosts := make(map[string]struct{}, len(res.Hosts))
-		for _, hs := range res.Hosts {
-			hosts[hs.Org] = struct{}{}
-		}
-		hostSets[i] = hosts
-		servers := make(map[netip.Addr]struct{})
-		for _, f := range v.DB.BySLD(cv.SLD) {
-			servers[f.Key.ServerIP] = struct{}{}
-		}
-		serverSets[i] = servers
-	}
-	cv.HostOverlap = make([][]float64, len(vantages))
-	cv.ServerOverlap = make([][]float64, len(vantages))
-	for i := range vantages {
-		cv.HostOverlap[i] = make([]float64, len(vantages))
-		cv.ServerOverlap[i] = make([]float64, len(vantages))
-		for j := range vantages {
-			cv.HostOverlap[i][j] = jaccard(hostSets[i], hostSets[j])
-			cv.ServerOverlap[i][j] = jaccard(serverSets[i], serverSets[j])
-		}
-	}
+	p := NewPipeline(NewExactCrossVantage(name, OrgLookupVantages(vantages), VantageNames(vantages)...))
+	ObserveVantages(p, vantages)
+	cv, _ := p.Snapshot()[0].Result.(*CrossVantage)
 	return cv
 }
 

@@ -1,0 +1,22 @@
+package stream_test
+
+import (
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/analytics/stream"
+)
+
+// BenchmarkPipelineObserve times one flow through the full standard
+// streaming query set — the per-flow cost benchcheck -analytics gates at
+// the whole-engine level. Must stay allocation-free: an alloc here is a
+// per-flow alloc under run-forever serving.
+func BenchmarkPipelineObserve(b *testing.B) {
+	flows := testFlows(4096, 7)
+	p := analytics.NewPipeline(stream.StandardQueries(nil)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(&flows[i%len(flows)])
+	}
+}

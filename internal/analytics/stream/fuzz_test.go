@@ -1,0 +1,172 @@
+package stream_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/analytics/stream"
+)
+
+// FuzzSketchVsExact drives both sketches from an arbitrary byte string
+// interpreted as an observation stream over a small key universe, and
+// cross-checks them against exact map models:
+//
+//   - space-saving: every tracked count brackets the true count, errors
+//     stay under N/m, heavy hitters above N/m are never lost;
+//   - HLL: the estimate stays within 6σ of the true distinct count;
+//   - merging: sharding the same stream and merging in different orders
+//     yields byte-identical snapshots.
+//
+// CI runs this as a short fuzz smoke (-fuzz -fuzztime 30s) on top of the
+// seeded corpus executing in normal test runs.
+func FuzzSketchVsExact(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte("aaaaaaaabbbbcccd"))
+	f.Add([]byte{255, 254, 0, 0, 0, 1, 128, 128, 128, 7, 7, 7, 7, 7, 7, 7})
+	big := make([]byte, 512)
+	for i := range big {
+		big[i] = byte(i * i)
+	}
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const capacity = 4
+		keys := make([]string, len(data))
+		for i, b := range data {
+			keys[i] = fmt.Sprintf("k%d", b%16) // universe of 16 > capacity 4
+		}
+
+		// --- space-saving vs exact counting ---
+		ss := stream.NewSpaceSaving(capacity)
+		truth := map[string]uint64{}
+		for _, k := range keys {
+			ss.Observe(k)
+			truth[k]++
+		}
+		n := uint64(len(keys))
+		if ss.Observed() != n {
+			t.Fatalf("observed %d, want %d", ss.Observed(), n)
+		}
+		bound := n / capacity
+		tracked := map[string]bool{}
+		for _, e := range ss.Top(0) {
+			tracked[e.Key] = true
+			if e.Err > bound {
+				t.Fatalf("key %s: err %d > N/m %d", e.Key, e.Err, bound)
+			}
+			tc := truth[e.Key]
+			if tc > e.Count || tc < e.Count-e.Err {
+				t.Fatalf("key %s: true %d outside [%d, %d]", e.Key, tc, e.Count-e.Err, e.Count)
+			}
+		}
+		for k, tc := range truth {
+			if tc > bound && !tracked[k] {
+				t.Fatalf("heavy hitter %s (%d > %d) lost", k, tc, bound)
+			}
+		}
+
+		// --- sharded merge must be order-independent, byte for byte ---
+		marshalTop := func(s *stream.SpaceSaving) string {
+			b, err := json.Marshal(s.Top(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+		shardSS := func() [3]*stream.SpaceSaving {
+			out := [3]*stream.SpaceSaving{
+				stream.NewSpaceSaving(capacity),
+				stream.NewSpaceSaving(capacity),
+				stream.NewSpaceSaving(capacity),
+			}
+			for i, k := range keys {
+				out[i%3].Observe(k)
+			}
+			return out
+		}
+		a := shardSS()
+		a[0].Merge(a[1])
+		a[0].Merge(a[2])
+		left := marshalTop(a[0])
+		b := shardSS()
+		b[1].Merge(b[2])
+		b[0].Merge(b[1])
+		right := marshalTop(b[0])
+		c := shardSS()
+		c[2].Merge(c[0])
+		c[2].Merge(c[1])
+		rev := marshalTop(c[2])
+		if left != right || left != rev {
+			t.Fatalf("merge order changed space-saving snapshot:\n%s\n%s\n%s", left, right, rev)
+		}
+		// Merged bounds hold against the full-stream truth too.
+		for _, e := range a[0].Top(0) {
+			tc := truth[e.Key]
+			if tc > e.Count || tc < e.Count-e.Err {
+				t.Fatalf("merged key %s: true %d outside [%d, %d]", e.Key, tc, e.Count-e.Err, e.Count)
+			}
+		}
+
+		// --- HLL vs exact distinct set ---
+		// Widen the universe with pair-encoded values so cardinality varies.
+		h := stream.NewHLL(stream.DefaultHLLPrecision)
+		distinct := map[uint64]bool{}
+		for i := 0; i+1 < len(data); i += 2 {
+			v := uint64(data[i])<<8 | uint64(data[i+1])
+			h.Add64(v)
+			distinct[v] = true
+		}
+		est := h.Estimate()
+		n64 := float64(len(distinct))
+		slack := 6 * h.StdError() * n64
+		if slack < 2 {
+			slack = 2
+		}
+		if math.Abs(est-n64) > slack {
+			t.Fatalf("hll estimate %.1f for %d distinct, slack %.1f", est, len(distinct), slack)
+		}
+		// Sharded register-max merge equals the unsharded sketch exactly.
+		parts := [2]*stream.HLL{stream.NewHLL(stream.DefaultHLLPrecision), stream.NewHLL(stream.DefaultHLLPrecision)}
+		i := 0
+		for v := range distinct {
+			parts[i%2].Add64(v)
+			i++
+		}
+		if err := parts[0].Merge(parts[1]); err != nil {
+			t.Fatal(err)
+		}
+		if parts[0].Estimate() != est {
+			t.Fatalf("sharded hll %v != unsharded %v", parts[0].Estimate(), est)
+		}
+
+		// --- full stream query set: shard-merge determinism ---
+		flowsOf := func() [2]*analytics.Pipeline {
+			ps := [2]*analytics.Pipeline{
+				analytics.NewPipeline(stream.StandardQueries(nil)...),
+				analytics.NewPipeline(stream.StandardQueries(nil)...),
+			}
+			for i, b := range data {
+				f := mkFlow(b, b/2, fmt.Sprintf("a.s%d.com", b%16), fmt.Sprintf("s%d.com", b%16), "", 1)
+				ps[i%2].Observe(&f)
+			}
+			return ps
+		}
+		p1 := flowsOf()
+		if err := p1[0].Merge(p1[1]); err != nil {
+			t.Fatal(err)
+		}
+		s1, _ := json.Marshal(p1[0].Snapshot())
+		p2 := flowsOf()
+		if err := p2[1].Merge(p2[0]); err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := json.Marshal(p2[1].Snapshot())
+		if string(s1) != string(s2) {
+			t.Fatalf("pipeline merge order changed snapshot:\n%s\n%s", s1, s2)
+		}
+	})
+}

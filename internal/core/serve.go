@@ -198,6 +198,11 @@ type ServeConfig struct {
 	// windows are handed to FlushWindow and their memory recycled. Zero
 	// means 5 minutes.
 	Window time.Duration
+	// ObserveWindow sees each completed window before FlushWindow and
+	// before its storage is recycled (flowdb.WindowConfig.Observe) — hang
+	// streaming analytics here, e.g. analytics.Pipeline.ObserveWindow. It
+	// runs even when FlushWindow is nil.
+	ObserveWindow func(flowdb.Window)
 	// FlushWindow receives each completed window in order (see
 	// flowdb.WindowConfig.Flush for the DB lifetime contract). nil
 	// discards completed windows: flows are then observable only through
@@ -272,7 +277,7 @@ func (s *Server) Serve(ctx context.Context, src netio.PacketSource) (*ServeRepor
 	if err := s.loadCheckpoint(); err != nil {
 		return nil, err
 	}
-	win := flowdb.NewWindowed(flowdb.WindowConfig{Width: s.scfg.Window, Flush: s.scfg.FlushWindow})
+	win := flowdb.NewWindowed(flowdb.WindowConfig{Width: s.scfg.Window, Observe: s.scfg.ObserveWindow, Flush: s.scfg.FlushWindow})
 	s.metrics.win.Store(win)
 
 	cfg := s.cfg

@@ -76,15 +76,27 @@ func (s *Suite) CrossVantage() (string, *analytics.ProviderFootprint) {
 		multi.Stats.Flows, multi.Stats.LabeledFlows, multi.Stats.DNSResponses)
 	b.WriteByte('\n')
 
+	// One pipeline, one pass: the provider footprint and every per-SLD
+	// overlap query observe the same single walk over the vantage
+	// databases (the deprecated free functions re-walked them per call).
+	lookup := analytics.OrgLookupVantages(data)
+	names := analytics.VantageNames(data)
+	queries := []analytics.Query{analytics.NewExactProviderUsage(lookup, 10, names...)}
+	for _, sld := range CrossVantageSLDs {
+		queries = append(queries, analytics.NewExactCrossVantage(sld, lookup, names...))
+	}
+	pipe := analytics.NewPipeline(queries...)
+	analytics.ObserveVantages(pipe, data)
+
 	b.WriteString("Provider footprint (share of each vantage's labeled flows per hosting org)\n")
-	pf := analytics.ProviderUsage(data, 10)
+	pf := pipe.Snapshot()[0].Result.(*analytics.ProviderFootprint)
 	b.WriteString(pf.Render())
 	b.WriteByte('\n')
 
 	b.WriteString("CDN overlap per content organization\n")
 	for _, sld := range CrossVantageSLDs {
-		cv := analytics.CrossVantageFootprint(data, sld)
-		b.WriteString(cv.Render())
+		q, _ := pipe.Query("cross_vantage:" + sld)
+		b.WriteString(q.Snapshot().(*analytics.CrossVantage).Render())
 	}
 	return b.String(), pf
 }

@@ -193,8 +193,7 @@ func (s *Suite) Table4() (string, analytics.CompareResult) {
 func (s *Suite) Table5() string {
 	var b strings.Builder
 	b.WriteString("Table 5: Top-10 domains hosted on the Amazon cloud\n")
-	us := analytics.TopDomainsOnOrg(s.Run(synth.NameUS3G).DB, s.Run(synth.NameUS3G).Trace.OrgDB, "amazon", 10)
-	eu := analytics.TopDomainsOnOrg(s.Run(synth.NameEU1ADSL1).DB, s.Run(synth.NameEU1ADSL1).Trace.OrgDB, "amazon", 10)
+	us, eu := s.Table5Data()
 	fmt.Fprintf(&b, "%-4s %-24s %5s   %-24s %5s\n", "Rank", "US-3G", "%", "EU1-ADSL1", "%")
 	for i := 0; i < 10; i++ {
 		usName, usShare := "-", 0.0
@@ -210,11 +209,17 @@ func (s *Suite) Table5() string {
 	return b.String()
 }
 
-// Table5Data returns the ranked SLD lists for assertions.
+// Table5Data returns the ranked SLD lists for assertions, via the
+// content-discovery Query (one ObserveDB pass per vantage).
 func (s *Suite) Table5Data() (us, eu []analytics.ContentShare) {
-	us = analytics.TopDomainsOnOrg(s.Run(synth.NameUS3G).DB, s.Run(synth.NameUS3G).Trace.OrgDB, "amazon", 10)
-	eu = analytics.TopDomainsOnOrg(s.Run(synth.NameEU1ADSL1).DB, s.Run(synth.NameEU1ADSL1).Trace.OrgDB, "amazon", 10)
-	return us, eu
+	top := func(name string) []analytics.ContentShare {
+		run := s.Run(name)
+		p := analytics.NewPipeline(analytics.NewExactTopContent("amazon", analytics.OrgLookupDB(run.Trace.OrgDB), analytics.BySLD, 10))
+		p.ObserveDB(run.DB)
+		cs, _ := p.Snapshot()[0].Result.([]analytics.ContentShare)
+		return cs
+	}
+	return top(synth.NameUS3G), top(synth.NameEU1ADSL1)
 }
 
 // Table6Ports are the well-known ports of Table 6 (EU1-FTTH).

@@ -49,11 +49,24 @@ type Window struct {
 type WindowConfig struct {
 	// Width is the window length in trace time. Zero means 5 minutes.
 	Width time.Duration
+	// Observe sees each completed window BEFORE Flush, and before the
+	// window's storage is recycled — the pre-discard hook streaming
+	// analytics hang off. It runs even when Flush is nil (the common
+	// serve-mode configuration: checkpoint spooling off, analytics on),
+	// which is exactly the case where flows used to vanish without any
+	// observer seeing them. Same lifetime contract as Flush: the Window's
+	// DB is only valid for the duration of the call.
+	Observe func(Window)
 	// Flush receives each completed window, in order. The Window's DB is
 	// reused after Flush returns — see Window.DB. A nil Flush discards
 	// completed windows (useful when a Sink downstream already observed
 	// every flow). A Flush error is sticky: it fails the Add that
 	// triggered it and every subsequent Add and Close.
+	//
+	// Ordering contract per rotation: Observe(win), then Flush(win), then
+	// the window's storage is recycled. An Observe hook therefore sees
+	// every flow that ever entered the store, including the final partial
+	// window on Close, and sees it exactly once.
 	Flush func(Window) error
 }
 
@@ -126,6 +139,9 @@ func (w *Windowed) rotate(end time.Duration) error {
 	w.index++
 	w.cur, w.spare = w.spare, w.cur
 	w.cur.Reset()
+	if w.cfg.Observe != nil {
+		w.cfg.Observe(win)
+	}
 	var err error
 	if w.cfg.Flush != nil {
 		err = w.cfg.Flush(win)

@@ -68,6 +68,71 @@ func TestWindowedRotation(t *testing.T) {
 	}
 }
 
+// TestWindowedObserveHook: the pre-discard observer sees every flow that
+// ever entered the store (including the final Close window), before
+// Flush, and fires even with no Flush configured — the configuration
+// where flows previously vanished unobserved.
+func TestWindowedObserveHook(t *testing.T) {
+	t.Run("no-flush", func(t *testing.T) {
+		var seen []string
+		w := NewWindowed(WindowConfig{
+			Width: time.Minute,
+			Observe: func(win Window) {
+				for _, f := range win.DB.All() {
+					seen = append(seen, f.Label)
+				}
+			},
+		})
+		labels := []string{"a.example.com", "b.example.com", "c.example.com", "d.example.com"}
+		ends := []time.Duration{10 * time.Second, 50 * time.Second, 70 * time.Second, 200 * time.Second}
+		for i, l := range labels {
+			if err := w.Add(wflow(ends[i], l)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(labels) {
+			t.Fatalf("observed %d flows, want %d", len(seen), len(labels))
+		}
+		for i, l := range labels {
+			if seen[i] != l {
+				t.Fatalf("observed[%d] = %q, want %q", i, seen[i], l)
+			}
+		}
+	})
+	t.Run("before-flush", func(t *testing.T) {
+		var order []string
+		w := NewWindowed(WindowConfig{
+			Width:   time.Minute,
+			Observe: func(win Window) { order = append(order, fmt.Sprintf("observe%d:%d", win.Index, win.DB.Len())) },
+			Flush: func(win Window) error {
+				order = append(order, fmt.Sprintf("flush%d:%d", win.Index, win.DB.Len()))
+				return nil
+			},
+		})
+		if err := w.Add(wflow(10*time.Second, "a.example.com")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Add(wflow(70*time.Second, "b.example.com")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"observe0:1", "flush0:1", "observe1:1", "flush1:1"}
+		if len(order) != len(want) {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order %v, want %v", order, want)
+			}
+		}
+	})
+}
+
 // TestWindowedMatchesBatch: concatenating window contents reproduces the
 // plain append-only DB over the same emission sequence, record for record.
 func TestWindowedMatchesBatch(t *testing.T) {

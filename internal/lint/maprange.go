@@ -33,6 +33,7 @@ var MapRange = &analysis.Analyzer{
 var emitRoots = []string{
 	"repro/internal/flowdb",
 	"repro/internal/analytics",
+	"repro/internal/analytics/stream",
 	"repro/internal/experiments",
 	"repro/cmd/",
 }

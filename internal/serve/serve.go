@@ -6,9 +6,10 @@
 //
 // Endpoints:
 //
-//	GET /healthz     200 "ok" while serving, 503 "draining" during drain
-//	GET /metrics     Prometheus text exposition (see OPERATIONS.md)
-//	GET /stats.json  the same numbers as one JSON object
+//	GET /healthz         200 "ok" while serving, 503 "draining" during drain
+//	GET /metrics         Prometheus text exposition (see OPERATIONS.md)
+//	GET /stats.json      the same numbers as one JSON object
+//	GET /analytics.json  live analytics-pipeline snapshot (when configured)
 package serve
 
 import (
@@ -22,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/core"
 )
 
@@ -31,6 +33,11 @@ type Config struct {
 	Listen string
 	// Metrics is the engine's live metrics view; required.
 	Metrics *core.ServeMetrics
+	// Analytics, when non-nil, enables GET /analytics.json (the pipeline's
+	// live snapshot in registration order) and the top-k gauges on
+	// /metrics. The pipeline's own mutex makes snapshotting safe while the
+	// serving goroutine feeds it.
+	Analytics *analytics.Pipeline
 }
 
 // Server serves the observability endpoints for one streaming engine.
@@ -53,6 +60,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/metrics", s.metrics)
 	s.mux.HandleFunc("/stats.json", s.statsJSON)
+	if cfg.Analytics != nil {
+		s.mux.HandleFunc("/analytics.json", s.analyticsJSON)
+	}
 	return s
 }
 
@@ -176,6 +186,60 @@ func (s *Server) statsJSON(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(s.snapshot())
 }
 
+// analyticsEnvelope is the /analytics.json document.
+type analyticsEnvelope struct {
+	// ObservedFlows counts flows fed to the pipeline so far. In serve mode
+	// it trails dnhunter_flows_total by up to one window: the pipeline
+	// observes flows at window rotation, not at emission.
+	ObservedFlows uint64                  `json:"observed_flows"`
+	Queries       []analytics.QueryResult `json:"queries"`
+}
+
+func (s *Server) analyticsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(analyticsEnvelope{
+		ObservedFlows: s.cfg.Analytics.Observed(),
+		Queries:       s.cfg.Analytics.Snapshot(),
+	})
+}
+
+// labelEscape escapes a Prometheus label value (backslash, quote,
+// newline — the three characters the exposition format reserves).
+func labelEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// analyticsMetrics renders the top-k query snapshots as labeled gauge
+// series. Only TopKResult-shaped queries surface here — counts with a
+// bounded, low-cardinality label set; the full structured results live
+// on /analytics.json.
+func analyticsMetrics(b *strings.Builder, p *analytics.Pipeline) {
+	type series struct {
+		query, key string
+		count      uint64
+	}
+	var out []series
+	for _, qr := range p.Snapshot() {
+		tk, ok := qr.Result.(analytics.TopKResult)
+		if !ok {
+			continue
+		}
+		for _, e := range tk.Entries {
+			out = append(out, series{query: qr.Name, key: e.Key, count: e.Count})
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP dnhunter_analytics_topk Estimated flow count per top-k key, by query.\n# TYPE dnhunter_analytics_topk gauge\n")
+	for _, sr := range out {
+		fmt.Fprintf(b, "dnhunter_analytics_topk{query=\"%s\",key=\"%s\"} %d\n", labelEscape(sr.query), labelEscape(sr.key), sr.count)
+	}
+}
+
 // metrics writes the Prometheus text exposition format (version 0.0.4):
 // "# HELP"/"# TYPE" comment pairs followed by one sample per line. The
 // format is plain text by design, so stdlib fmt is all it takes.
@@ -221,6 +285,9 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	gaugeU("dnhunter_draining", "1 while the engine is draining after cancellation.", draining)
 	gaugeU("dnhunter_heap_inuse_bytes", "Bytes in in-use heap spans (runtime.MemStats.HeapInuse).", sm.HeapInuse)
 	gaugeF("dnhunter_uptime_seconds", "Seconds since the metrics server started.", sm.Uptime)
+	if s.cfg.Analytics != nil {
+		analyticsMetrics(&b, s.cfg.Analytics)
+	}
 
 	w.Write([]byte(b.String()))
 }

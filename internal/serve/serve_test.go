@@ -10,7 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analytics"
+	"repro/internal/analytics/stream"
 	"repro/internal/core"
+	"repro/internal/flowdb"
 	"repro/internal/synth"
 )
 
@@ -93,6 +96,71 @@ func TestScrapeRate(t *testing.T) {
 	_, body := get(t, s.Handler(), "/metrics")
 	if !strings.Contains(body, "dnhunter_pkts_per_sec") {
 		t.Fatal("rate gauge missing")
+	}
+}
+
+// analyticsPipeline builds a small live pipeline with a few observed flows.
+func analyticsPipeline(t *testing.T) *analytics.Pipeline {
+	t.Helper()
+	p := analytics.NewPipeline(stream.NewTopDomains(5, 64), stream.NewCoverage(0))
+	for _, label := range []string{"a.example.com", "a.example.com", "b.example.com"} {
+		f := flowdb.LabeledFlow{Label: label, SLD: "example.com", Labeled: true}
+		p.Observe(&f)
+	}
+	return p
+}
+
+func TestAnalyticsJSON(t *testing.T) {
+	s := New(Config{Metrics: &core.ServeMetrics{}, Analytics: analyticsPipeline(t)})
+	code, body := get(t, s.Handler(), "/analytics.json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var env struct {
+		ObservedFlows uint64 `json:"observed_flows"`
+		Queries       []struct {
+			Name   string          `json:"name"`
+			Result json.RawMessage `json:"result"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if env.ObservedFlows != 3 {
+		t.Fatalf("observed_flows = %d, want 3", env.ObservedFlows)
+	}
+	if len(env.Queries) != 2 || env.Queries[0].Name != "top_domains" || env.Queries[1].Name != "coverage" {
+		t.Fatalf("queries: %+v", env.Queries)
+	}
+	if !strings.Contains(string(env.Queries[0].Result), "a.example.com") {
+		t.Fatalf("top_domains result missing observed key: %s", env.Queries[0].Result)
+	}
+}
+
+func TestAnalyticsJSONDisabled(t *testing.T) {
+	s := New(Config{Metrics: &core.ServeMetrics{}})
+	if code, _ := get(t, s.Handler(), "/analytics.json"); code != http.StatusNotFound {
+		t.Fatalf("no-pipeline /analytics.json status %d, want 404", code)
+	}
+}
+
+func TestAnalyticsMetricsGauges(t *testing.T) {
+	s := New(Config{Metrics: &core.ServeMetrics{}, Analytics: analyticsPipeline(t)})
+	_, body := get(t, s.Handler(), "/metrics")
+	for _, want := range []string{
+		"# TYPE dnhunter_analytics_topk gauge",
+		`dnhunter_analytics_topk{query="top_domains",key="a.example.com"} 2`,
+		`dnhunter_analytics_topk{query="top_domains",key="b.example.com"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestLabelEscape(t *testing.T) {
+	if got := labelEscape("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Fatalf("labelEscape = %q", got)
 	}
 }
 

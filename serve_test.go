@@ -15,6 +15,9 @@ import (
 // enough for many window rotations and asserts heap-in-use stays under a
 // fixed ceiling: the windowed store recycles its memory instead of
 // accumulating flows, so sustained streaming must reach a steady state.
+// The full standard analytics pipeline rides along on the Observe hook —
+// sketch state is bounded by construction, and this is where a
+// regression (an unbounded map in a query) would show up first.
 func TestServeSoakHeapBounded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
@@ -30,8 +33,10 @@ func TestServeSoakHeapBounded(t *testing.T) {
 	// warmup; the default 1M-entry list would keep absorbing responses —
 	// and growing — for the whole soak.
 	eng := dnhunter.NewEngine(dnhunter.WithResolver(dnhunter.ResolverConfig{ClistSize: 4096}))
+	pipe := dnhunter.NewAnalyticsPipeline(dnhunter.StreamingQueries(nil)...)
 	rep, err := eng.Serve(context.Background(), loop, dnhunter.ServeConfig{
-		Window: 10 * time.Minute,
+		Window:        10 * time.Minute,
+		ObserveWindow: pipe.ObserveWindow,
 		FlushWindow: func(w dnhunter.Window) error {
 			// Sample every tenth rotation, on the serving goroutine, after
 			// the window's memory has been handed back for reuse.
@@ -70,6 +75,15 @@ func TestServeSoakHeapBounded(t *testing.T) {
 		if s > ceiling {
 			t.Fatalf("heap sample %d = %d bytes exceeds steady-state ceiling %d (warmup %v)",
 				i+3, s, ceiling, samples[:3])
+		}
+	}
+	// The pipeline must have seen every finished flow, not a sample.
+	if got := pipe.Observed(); got != rep.Stats.Flows {
+		t.Fatalf("analytics observed %d flows, serve reported %d", got, rep.Stats.Flows)
+	}
+	for _, qr := range pipe.Snapshot() {
+		if qr.Result == nil {
+			t.Fatalf("query %s snapshot is nil after soak", qr.Name)
 		}
 	}
 }
