@@ -7,8 +7,15 @@
 // Usage:
 //
 //	bench [-scenarios EU1-FTTH,DNS-CHURN,TRIVANTAGE] [-shards 1,4,8]
-//	      [-gomaxprocs 0] [-scale 0.35] [-seed 1] [-reps 3] [-analytics]
-//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-out BENCH.json]
+//	      [-readers 1] [-gomaxprocs 0] [-scale 0.35] [-seed 1] [-reps 3]
+//	      [-analytics] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	      [-out BENCH.json]
+//
+// -readers sweeps the reader/dispatcher partition count orthogonally to
+// -shards. Reader striping needs a dispatch stage, so readers>1 cells are
+// skipped at shards=1. Every cell runs with the synthetic scenarios' client
+// networks (10.0.0.0/16) configured — striping requires them, and the
+// baseline must measure the same flow-orientation configuration.
 //
 // -analytics runs every cell twice — once plain, once with the standard
 // streaming analytics pipeline (StreamingQueries) consuming the run's
@@ -45,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/netip"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -53,6 +61,7 @@ import (
 	"time"
 
 	dnhunter "repro"
+	"repro/internal/netio"
 	"repro/internal/synth"
 )
 
@@ -84,6 +93,8 @@ type Meta struct {
 type Result struct {
 	Scenario string `json:"scenario"`
 	Shards   int    `json:"shards"`
+	// Readers is the reader/dispatcher partition count the cell ran at.
+	Readers int `json:"readers"`
 	// GOMAXPROCS is the value the cell actually ran at.
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// Packets replayed per repetition.
@@ -113,6 +124,22 @@ type Result struct {
 	// actually did the work (and that shard counts agree).
 	Flows        uint64 `json:"flows"`
 	DNSResponses uint64 `json:"dns_responses"`
+	// Per-reader-partition counters from the best repetition (single-trace
+	// cells only; RunSources does not surface them).
+	ReaderPkts          []uint64 `json:"reader_pkts,omitempty"`
+	ReaderRingFullParks []uint64 `json:"reader_ring_full_parks,omitempty"`
+	ReaderMeshFullParks []uint64 `json:"reader_mesh_full_parks,omitempty"`
+	// BlocksRetired and BlockRetireAvgNs are the best repetition's payload
+	// arena deltas: blocks fully released, and the mean time dispatch
+	// handles kept a block pinned.
+	BlocksRetired    uint64  `json:"blocks_retired"`
+	BlockRetireAvgNs float64 `json:"block_retire_avg_ns"`
+}
+
+// benchNets is the client-network configuration every cell runs with: the
+// synthetic scenarios place all clients (and the LDNS) in 10.0.0.0/16.
+func benchNets() dnhunter.FlowsConfig {
+	return dnhunter.FlowsConfig{ClientNets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/16")}}
 }
 
 func main() {
@@ -121,6 +148,7 @@ func main() {
 	scenarios := flag.String("scenarios", synth.NameEU1FTTH+","+synth.NameDNSChurn,
 		"comma-separated scenario names")
 	shardList := flag.String("shards", "1,4,8", "comma-separated shard counts")
+	readerList := flag.String("readers", "1", "comma-separated reader-partition counts (readers > 1 cells skip shards=1)")
 	procList := flag.String("gomaxprocs", "0",
 		"comma-separated GOMAXPROCS values per cell (0 = runtime default)")
 	scale := flag.Float64("scale", 0.35, "scenario scale factor")
@@ -136,6 +164,10 @@ func main() {
 	shards, err := parseInts(*shardList, 1)
 	if err != nil {
 		log.Fatalf("bad -shards: %v", err)
+	}
+	readerCounts, err := parseInts(*readerList, 1)
+	if err != nil {
+		log.Fatalf("bad -readers: %v", err)
 	}
 	procs, err := parseInts(*procList, 0)
 	if err != nil {
@@ -196,32 +228,38 @@ func main() {
 			if *analyticsOn {
 				variants = append(variants, true)
 			}
-			group := make([]Result, 0, len(shards)*len(variants))
+			group := make([]Result, 0, len(shards)*len(readerCounts)*len(variants))
 			for _, n := range shards {
-				// The off/on variants of a cell interleave at the repetition
-				// level (inside runCells) so slow machine drift between
-				// minutes-apart measurements cannot masquerade as analytics
-				// overhead in the benchcheck -analytics pairing.
-				cells, err := runCells(ctx, traces, n, *reps, variants)
-				if err != nil {
-					log.Fatalf("%s gomaxprocs=%d shards=%d: %v", name, eff, n, err)
-				}
-				for i := range cells {
-					cell := &cells[i]
-					cell.Scenario = name
-					cell.Shards = n
-					cell.GOMAXPROCS = eff
-					cell.Packets = packets
-					cell.TraceBytes = traceBytes
-					suffix := ""
-					if cell.Analytics {
-						suffix = " analytics=on"
+				for _, r := range readerCounts {
+					if r > 1 && n == 1 {
+						continue // striping needs a dispatch stage; the engine would clamp to 1
 					}
-					log.Printf("%s gomaxprocs=%d shards=%d%s: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt, %.1f MB heap, %d GCs",
-						name, eff, n, suffix, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt,
-						float64(cell.HeapInuseBytes)/1e6, cell.GCCycles)
+					// The off/on variants of a cell interleave at the repetition
+					// level (inside runCells) so slow machine drift between
+					// minutes-apart measurements cannot masquerade as analytics
+					// overhead in the benchcheck -analytics pairing.
+					cells, err := runCells(ctx, traces, n, r, *reps, variants)
+					if err != nil {
+						log.Fatalf("%s gomaxprocs=%d shards=%d readers=%d: %v", name, eff, n, r, err)
+					}
+					for i := range cells {
+						cell := &cells[i]
+						cell.Scenario = name
+						cell.Shards = n
+						cell.Readers = r
+						cell.GOMAXPROCS = eff
+						cell.Packets = packets
+						cell.TraceBytes = traceBytes
+						suffix := ""
+						if cell.Analytics {
+							suffix = " analytics=on"
+						}
+						log.Printf("%s gomaxprocs=%d shards=%d readers=%d%s: %.0f pkts/sec, %.0f ns/pkt, %.2f allocs/pkt, %.0f B/pkt, %.1f MB heap, %d GCs",
+							name, eff, n, r, suffix, cell.PktsPerSec, cell.NsPerPkt, cell.AllocsPerPkt, cell.BytesPerPkt,
+							float64(cell.HeapInuseBytes)/1e6, cell.GCCycles)
+					}
+					group = append(group, cells...)
 				}
-				group = append(group, cells...)
 			}
 			// Speedups are filled in after the group completes so the
 			// -shards order cannot hide the shards=1 baseline. Analytics-on
@@ -295,7 +333,7 @@ func generateTraces(name string, scale float64, seed uint64) []*dnhunter.Trace {
 // analytics=true variant has the standard streaming query set consume
 // every finished flow inside the timed region — the cost benchcheck
 // -analytics gates.
-func runCells(ctx context.Context, traces []*dnhunter.Trace, n, reps int, variants []bool) ([]Result, error) {
+func runCells(ctx context.Context, traces []*dnhunter.Trace, n, r, reps int, variants []bool) ([]Result, error) {
 	best := make([]Result, len(variants))
 	packets := 0
 	for _, tr := range traces {
@@ -303,7 +341,7 @@ func runCells(ctx context.Context, traces []*dnhunter.Trace, n, reps int, varian
 	}
 	for i := 0; i < reps; i++ {
 		for vi, analytics := range variants {
-			cell, err := runOnce(ctx, traces, n, packets, analytics)
+			cell, err := runOnce(ctx, traces, n, r, packets, analytics)
 			if err != nil {
 				return nil, err
 			}
@@ -317,24 +355,27 @@ func runCells(ctx context.Context, traces []*dnhunter.Trace, n, reps int, varian
 
 // runOnce times a single engine replay (plus, with analytics, the
 // streaming pipeline pass over its flows).
-func runOnce(ctx context.Context, traces []*dnhunter.Trace, n, packets int, analytics bool) (Result, error) {
+func runOnce(ctx context.Context, traces []*dnhunter.Trace, n, r, packets int, analytics bool) (Result, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	arenaBefore := netio.DefaultBlockPool().Stats()
 	start := time.Now()
 	var (
-		stats dnhunter.Stats
-		db    *dnhunter.FlowDB
-		err   error
+		stats  dnhunter.Stats
+		db     *dnhunter.FlowDB
+		rstats []dnhunter.ReaderStat
+		err    error
 	)
+	base := []dnhunter.Option{dnhunter.WithShards(n), dnhunter.WithReaders(r), dnhunter.WithFlows(benchNets())}
 	if len(traces) == 1 {
 		var res *dnhunter.Result
-		res, err = dnhunter.NewEngine(dnhunter.WithShards(n)).RunTrace(ctx, traces[0])
+		res, err = dnhunter.NewEngine(base...).RunTrace(ctx, traces[0])
 		if err == nil {
-			stats, db = res.Stats, res.DB
+			stats, db, rstats = res.Stats, res.DB, res.Readers
 		}
 	} else {
-		opts := []dnhunter.Option{dnhunter.WithShards(n)}
+		opts := base
 		for _, tr := range traces {
 			opts = append(opts, dnhunter.WithTraceSource(tr.Scenario.Name, tr))
 		}
@@ -356,8 +397,9 @@ func runOnce(ctx context.Context, traces []*dnhunter.Trace, n, packets int, anal
 		return Result{}, err
 	}
 	runtime.ReadMemStats(&after)
+	arenaAfter := netio.DefaultBlockPool().Stats()
 	pkts := float64(packets)
-	return Result{
+	cell := Result{
 		Analytics:      analytics,
 		PktsPerSec:     pkts / elapsed.Seconds(),
 		NsPerPkt:       float64(elapsed.Nanoseconds()) / pkts,
@@ -367,7 +409,17 @@ func runOnce(ctx context.Context, traces []*dnhunter.Trace, n, packets int, anal
 		GCCycles:       after.NumGC - before.NumGC,
 		Flows:          stats.Flows,
 		DNSResponses:   stats.DNSResponses,
-	}, nil
+		BlocksRetired:  arenaAfter.Retired - arenaBefore.Retired,
+	}
+	if cell.BlocksRetired > 0 {
+		cell.BlockRetireAvgNs = float64(arenaAfter.RetireNs-arenaBefore.RetireNs) / float64(cell.BlocksRetired)
+	}
+	for _, rs := range rstats {
+		cell.ReaderPkts = append(cell.ReaderPkts, rs.Pkts)
+		cell.ReaderRingFullParks = append(cell.ReaderRingFullParks, rs.RingFullParks)
+		cell.ReaderMeshFullParks = append(cell.ReaderMeshFullParks, rs.MeshFullParks)
+	}
+	return cell, nil
 }
 
 // parseInts parses a comma-separated integer list, rejecting values below

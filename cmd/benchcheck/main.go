@@ -295,6 +295,7 @@ type benchReport struct {
 type benchCell struct {
 	Scenario   string  `json:"scenario"`
 	Shards     int     `json:"shards"`
+	Readers    int     `json:"readers"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	PktsPerSec float64 `json:"pkts_per_sec"`
 	NsPerPkt   float64 `json:"ns_per_pkt"`
@@ -305,10 +306,14 @@ type benchCell struct {
 // gomaxprocs) group of the report, each multi-shard cell must reach at
 // least (1 - tol%) of the group's shards=1 throughput — and, when
 // minSpeedup > 0, at least that multiple of it (the paper-style scaling
-// assertion, e.g. 1.8 for shards=4 on a ≥4-core box). Cells the machine
-// cannot parallelize (num_cpu or gomaxprocs below the shard count) are
-// reported and skipped, so the gate is meaningful on many-core CI runners
-// without failing spuriously on small boxes.
+// assertion, e.g. 1.8 for shards=4 on a ≥4-core box). Independently of
+// both knobs, a gateable cell with 4+ shards must beat the shards=1
+// baseline outright (> 1.0x): on a machine that can actually parallelize,
+// 4-way sharding slower than single-shard is a dispatch-path regression no
+// tolerance excuses. Cells the machine cannot parallelize (num_cpu or
+// gomaxprocs below the shard count) are reported and skipped, so the gate
+// is meaningful on many-core CI runners without failing spuriously on
+// small boxes.
 func checkScaling(path string, tol, minSpeedup float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -335,6 +340,9 @@ func checkScaling(path string, tol, minSpeedup float64) error {
 			continue
 		}
 		name := fmt.Sprintf("%s gomaxprocs=%d shards=%d", c.Scenario, c.GOMAXPROCS, c.Shards)
+		if c.Readers > 1 {
+			name += fmt.Sprintf(" readers=%d", c.Readers)
+		}
 		if c.Analytics {
 			name += " analytics=on"
 		}
@@ -354,6 +362,11 @@ func checkScaling(path string, tol, minSpeedup float64) error {
 				name, rep.Meta.NumCPU, c.Shards, ratio)
 		case c.GOMAXPROCS < c.Shards:
 			log.Printf("skip %s: gomaxprocs below shard count (%.2fx measured)", name, ratio)
+		case c.Shards >= 4 && ratio <= 1:
+			log.Printf("FAIL %s: %.2fx shards=1 — a %d-shard pipeline on %d CPUs must beat the single-shard baseline outright (> 1.0x)",
+				name, ratio, c.Shards, rep.Meta.NumCPU)
+			failed = true
+			gated++
 		case ratio < floor:
 			log.Printf("FAIL %s: %.0f pkts/sec is %.2fx the shards=1 baseline %.0f (floor %.2fx)",
 				name, c.PktsPerSec, ratio, b, floor)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/netip"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +41,8 @@ func runServe(args []string) {
 	analyticsOn := fs.Bool("analytics", false, "run the standard streaming analytics queries; adds /analytics.json and top-k gauges to /metrics")
 	spool := fs.String("spool", "", "directory receiving one CSV per completed window; empty discards windows")
 	shards := fs.Int("shards", 1, "parallel pipeline shards (-1 = one per CPU)")
+	readers := fs.Int("readers", 1, "parallel reader/dispatcher partitions (-1 = one per CPU); needs -shards > 1 and -client-nets")
+	clientNets := fs.String("client-nets", "", "comma-separated client CIDRs (e.g. 10.0.0.0/16); orients flows and enables -readers > 1")
 	clist := fs.Int("clist", 1<<20, "resolver Clist size L (per shard)")
 	history := fs.Int("history", 0, "multi-label history per (client,server) key")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after a stop signal")
@@ -105,10 +108,23 @@ func runServe(args []string) {
 		scfg.ObserveWindow = pipe.ObserveWindow
 	}
 
-	eng := dnhunter.NewEngine(
+	opts := []dnhunter.Option{
 		dnhunter.WithShards(*shards),
+		dnhunter.WithReaders(*readers),
 		dnhunter.WithResolver(dnhunter.ResolverConfig{ClistSize: *clist, History: *history}),
-	)
+	}
+	if *clientNets != "" {
+		var fcfg dnhunter.FlowsConfig
+		for _, cidr := range strings.Split(*clientNets, ",") {
+			p, err := netip.ParsePrefix(strings.TrimSpace(cidr))
+			if err != nil {
+				log.Fatalf("-client-nets: %v", err)
+			}
+			fcfg.ClientNets = append(fcfg.ClientNets, p)
+		}
+		opts = append(opts, dnhunter.WithFlows(fcfg))
+	}
+	eng := dnhunter.NewEngine(opts...)
 	srv := eng.Server(scfg)
 
 	ms := serve.New(serve.Config{Listen: *listen, Metrics: srv.Metrics(), Analytics: pipe})
@@ -116,8 +132,8 @@ func runServe(args []string) {
 	if err := ms.Start(httpErrs); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving on http://%s (shards=%d window=%v shed=%v)\n",
-		ms.Addr(), eng.Shards(), *window, *shed)
+	fmt.Printf("serving on http://%s (shards=%d readers=%d window=%v shed=%v)\n",
+		ms.Addr(), eng.Shards(), eng.Readers(), *window, *shed)
 
 	// SIGINT/SIGTERM trigger the graceful drain, not an abort.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

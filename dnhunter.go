@@ -142,6 +142,9 @@ type Result struct {
 	Stats    Stats
 	DNSTimes []time.Duration
 	Trace    *Trace
+	// Readers holds per-reader-partition counters from Engine runs (one
+	// entry per partition; nil from the legacy single-threaded pipeline).
+	Readers []ReaderStat
 	// Err records a pipeline failure for callers of the deprecated,
 	// non-error-returning RunTrace wrapper. Engine.Run reports errors
 	// directly and never sets it.

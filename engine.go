@@ -26,6 +26,9 @@ type (
 	// PacketSource yields packets in capture order (pcap reader, in-memory
 	// slice, channel, ...).
 	PacketSource = netio.PacketSource
+	// ReaderStat is one reader partition's backpressure counters (see
+	// Result.Readers and the serve-mode /metrics reader gauges).
+	ReaderStat = core.ReaderStat
 )
 
 // MultiSink fans events out to several sinks in order.
@@ -57,6 +60,20 @@ type Option func(*engineOptions)
 // value to use one shard per available CPU.
 func WithShards(n int) Option {
 	return func(o *engineOptions) { o.cfg.Shards = n }
+}
+
+// WithReaders sets the number of parallel reader/dispatcher partitions
+// feeding the shards. 1 (the default) keeps the classic single-dispatcher
+// pipeline; n > 1 stripes raw frames over n dispatchers by a header-peek
+// hash of the client address, each with its own parser and flow tracker,
+// so the parse stage scales past one core. Pass a negative value to use
+// one partition per available CPU. Requires more than one shard AND
+// configured client networks (WithFlows' ClientNets) — otherwise the
+// engine falls back to a single reader. Aggregate results are equivalent
+// to a single reader's; see internal/core's stripe documentation for the
+// exact guarantees and the best-effort cases.
+func WithReaders(n int) Option {
+	return func(o *engineOptions) { o.cfg.Readers = n }
 }
 
 // WithResolver overrides the per-shard resolver configuration (defaults:
@@ -142,24 +159,33 @@ func WithMergeWindow(d time.Duration) Option {
 //	eng := dnhunter.NewEngine(dnhunter.WithShards(-1))
 //	res, err := eng.RunTrace(ctx, trace)
 type Engine struct {
-	opts   engineOptions
-	shards int
+	opts    engineOptions
+	shards  int
+	readers int
 }
 
-// NewEngine assembles an Engine from functional options. The shard count
-// is resolved here (0 → 1, negative → GOMAXPROCS at construction time).
+// NewEngine assembles an Engine from functional options. The shard and
+// reader counts are resolved here (0 → 1, negative → GOMAXPROCS at
+// construction time; readers additionally clamp to 1 without multiple
+// shards and client networks).
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{}
 	for _, opt := range opts {
 		opt(&e.opts)
 	}
-	e.opts.cfg.Shards = core.NewEngine(e.opts.cfg).Shards()
+	norm := core.NewEngine(e.opts.cfg)
+	e.opts.cfg.Shards = norm.Shards()
+	e.opts.cfg.Readers = norm.Readers()
 	e.shards = e.opts.cfg.Shards
+	e.readers = e.opts.cfg.Readers
 	return e
 }
 
 // Shards reports the resolved shard count.
 func (e *Engine) Shards() int { return e.shards }
+
+// Readers reports the resolved reader-partition count.
+func (e *Engine) Readers() int { return e.readers }
 
 // Run drains the packet source through the pipeline and returns the merged
 // labeled-flow database and statistics. It stops early with ctx.Err() when
@@ -259,7 +285,7 @@ func (e *Engine) run(ctx context.Context, src PacketSource, truth func(FlowKey) 
 	if err != nil {
 		return nil, err
 	}
-	res.DB, res.Stats = out.DB, out.Stats
+	res.DB, res.Stats, res.Readers = out.DB, out.Stats, out.Readers
 	if eng.Shards() > 1 {
 		// Shards deliver DNS events interleaved; restore trace order.
 		sort.Slice(res.DNSTimes, func(i, j int) bool { return res.DNSTimes[i] < res.DNSTimes[j] })

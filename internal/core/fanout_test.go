@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/synth"
+)
+
+// fanoutNets covers the synthetic scenarios' client population (clients
+// and LDNS live in 10.0.0.0/16; servers and P2P peers do not), so every
+// flow has exactly one client-side endpoint and the stripe's equivalence
+// guarantee is exact, not best-effort.
+func fanoutNets() []netip.Prefix {
+	return []netip.Prefix{netip.MustParsePrefix("10.0.0.0/16")}
+}
+
+// runFanout runs one trace at the given (shards, readers, batch), with the
+// client networks configured — both sides of a reader-equivalence
+// comparison must share them, since they change flow orientation.
+func runFanout(t *testing.T, tr *synth.Trace, shards, readers, batch int) *Result {
+	t.Helper()
+	eng := NewEngine(EngineConfig{
+		Shards:  shards,
+		Readers: readers,
+		Batch:   batch,
+		Flows:   flows.Config{ClientNets: fanoutNets()},
+		Truth:   tr.TruthFunc(),
+	})
+	res, err := eng.Run(context.Background(), tr.Source())
+	if err != nil {
+		t.Fatalf("Engine.Run(shards=%d readers=%d): %v", shards, readers, err)
+	}
+	return res
+}
+
+// TestEngineReaderEquivalence is the fanout's core guarantee: any reader
+// count produces the identical flow multiset and aggregate statistics as
+// the single-reader sharded pipeline.
+func TestEngineReaderEquivalence(t *testing.T) {
+	traces := map[string]*synth.Trace{
+		"quick":    synth.Generate(synth.QuickScenario(7)),
+		"EU1-FTTH": synth.Generate(synth.NamedScenario(synth.NameEU1FTTH, 0.12, 3)),
+	}
+	for name, tr := range traces {
+		t.Run(name, func(t *testing.T) {
+			base := runFanout(t, tr, 4, 1, 0)
+			want := flowMultiset(base.DB)
+			for _, readers := range []int{2, 3, 4} {
+				got := runFanout(t, tr, 4, readers, 0)
+				if got.Stats != base.Stats {
+					t.Errorf("readers=%d stats diverge:\n readers=1 %+v\n readers=%d %+v",
+						readers, base.Stats, readers, got.Stats)
+				}
+				diffMultisets(t, want, flowMultiset(got.DB), fmt.Sprintf("readers=%d", readers))
+			}
+		})
+	}
+}
+
+// TestEngineReaderStats checks the per-reader counters: one ReaderStat per
+// partition, and — since batch runs never shed — the routed-frame counts
+// sum to exactly the trace length.
+func TestEngineReaderStats(t *testing.T) {
+	tr := synth.Generate(synth.QuickScenario(11))
+	total := uint64(tr.Source().Len())
+	for _, readers := range []int{1, 3} {
+		res := runFanout(t, tr, 2, readers, 0)
+		if len(res.Readers) != readers {
+			t.Fatalf("readers=%d: got %d ReaderStats", readers, len(res.Readers))
+		}
+		var pkts uint64
+		for _, rs := range res.Readers {
+			pkts += rs.Pkts
+			if rs.ShedFrames != 0 {
+				t.Errorf("readers=%d: shed %d frames in a non-shedding batch run", readers, rs.ShedFrames)
+			}
+		}
+		if pkts != total {
+			t.Errorf("readers=%d: reader pkts sum %d, want %d", readers, pkts, total)
+		}
+	}
+}
+
+// TestEngineReaderClamp pins the Readers normalization: no dispatch stage
+// (Shards<=1) or no client networks forces a single reader; negative means
+// GOMAXPROCS.
+func TestEngineReaderClamp(t *testing.T) {
+	nets := flows.Config{ClientNets: fanoutNets()}
+	cases := []struct {
+		name string
+		cfg  EngineConfig
+		want int
+	}{
+		{"default", EngineConfig{Shards: 4, Flows: nets}, 1},
+		{"explicit", EngineConfig{Shards: 4, Readers: 3, Flows: nets}, 3},
+		{"negative", EngineConfig{Shards: 4, Readers: -1, Flows: nets}, runtime.GOMAXPROCS(0)},
+		{"single-shard", EngineConfig{Shards: 1, Readers: 4, Flows: nets}, 1},
+		{"no-nets", EngineConfig{Shards: 4, Readers: 4}, 1},
+	}
+	for _, c := range cases {
+		if got := NewEngine(c.cfg).Readers(); got != c.want {
+			t.Errorf("%s: Readers()=%d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestReaderFanoutCancelStress aborts striped runs mid-flight, repeatedly:
+// the abort path must tear down the ingress rings and the (reader, shard)
+// ring mesh without deadlock or leaked block references. Run under -race
+// this also exercises the close/drain protocol across all three stages.
+func TestReaderFanoutCancelStress(t *testing.T) {
+	tr := synth.Generate(synth.NamedScenario(synth.NameEU1FTTH, 0.12, 3))
+	for round := 0; round < 8; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		delay := time.Duration(round) * 200 * time.Microsecond
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		eng := NewEngine(EngineConfig{
+			Shards:  3,
+			Readers: 3,
+			Batch:   8, // small slots: wraparound and final-partial paths both hit
+			Flows:   flows.Config{ClientNets: fanoutNets()},
+		})
+		_, err := eng.Run(ctx, tr.Source())
+		if err != nil && err != context.Canceled {
+			t.Fatalf("round %d: unexpected error %v", round, err)
+		}
+		cancel()
+	}
+}
+
+// TestFastRangeReduction pins the multiply-shift reduction: in-range,
+// deterministic, reasonably uniform over the synthetic client population,
+// and decorrelated between the shard and reader dimensions. Aggregate
+// equivalence across shard/reader counts — the property the pipeline
+// actually needs, independent of WHERE each client lands — is pinned by
+// TestEngineShardEquivalence and TestEngineReaderEquivalence.
+func TestFastRangeReduction(t *testing.T) {
+	const n = 8
+	shardCounts := make([]int, n)
+	readerCounts := make([]int, n)
+	diag := 0
+	const clients = 1 << 12
+	for i := 0; i < clients; i++ {
+		a := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		sh := shardOfAddr(a, n)
+		rd := readerOfAddr(a, n)
+		if sh >= n || rd >= n {
+			t.Fatalf("client %v: out of range shard=%d reader=%d", a, sh, rd)
+		}
+		if sh != shardOfAddr(a, n) || rd != readerOfAddr(a, n) {
+			t.Fatalf("client %v: nondeterministic reduction", a)
+		}
+		shardCounts[sh]++
+		readerCounts[rd]++
+		if sh == rd {
+			diag++
+		}
+	}
+	ideal := float64(clients) / n
+	for i := 0; i < n; i++ {
+		for dim, got := range map[string]int{"shard": shardCounts[i], "reader": readerCounts[i]} {
+			if math.Abs(float64(got)-ideal) > ideal/2 {
+				t.Errorf("%s %d: %d clients, want ~%.0f (skew > 50%%)", dim, i, got, ideal)
+			}
+		}
+	}
+	// Independent dimensions put ~1/n of clients on the diagonal; a reader
+	// hash correlated with the shard hash puts ~all of them there.
+	if float64(diag) > 3*ideal {
+		t.Errorf("shard/reader diagonal %d of %d clients — dimensions correlated (readerSalt broken?)", diag, clients)
+	}
+}
+
+// FuzzReaderFanoutEquivalence fuzzes the (seed, readers, shards, batch)
+// space: any combination must reproduce the single-reader flow multiset
+// and stats exactly.
+func FuzzReaderFanoutEquivalence(f *testing.F) {
+	f.Add(uint64(7), 2, 2, 1)
+	f.Add(uint64(7), 3, 4, defaultBatch)
+	f.Add(uint64(7), 4, 2, 7)
+	f.Add(uint64(21), 8, 3, 64)
+	f.Fuzz(func(t *testing.T, seed uint64, readers, shards, batch int) {
+		if readers < 2 || readers > 8 || shards < 2 || shards > 8 || batch < 1 || batch > 4*defaultBatch {
+			t.Skip()
+		}
+		tr := synth.Generate(synth.QuickScenario(seed))
+		base := runFanout(t, tr, shards, 1, batch)
+		got := runFanout(t, tr, shards, readers, batch)
+		if got.Stats != base.Stats {
+			t.Errorf("seed=%d readers=%d shards=%d batch=%d stats diverge:\n readers=1 %+v\n fanout %+v",
+				seed, readers, shards, batch, base.Stats, got.Stats)
+		}
+		diffMultisets(t, flowMultiset(base.DB), flowMultiset(got.DB),
+			fmt.Sprintf("seed=%d readers=%d shards=%d batch=%d", seed, readers, shards, batch))
+	})
+}

@@ -143,6 +143,7 @@ func (c *vclock) close() {
 // is within the rendezvous' tick-level coarseness.
 type pacedSource struct {
 	fetch blockFetcher
+	ref   *netio.RefAdapter
 	clock *vclock
 	idx   int
 	tick  time.Duration
@@ -150,7 +151,7 @@ type pacedSource struct {
 }
 
 func newPacedSource(src netio.PacketSource, clock *vclock, idx int, tick time.Duration) *pacedSource {
-	return &pacedSource{fetch: newBlockFetcher(src), clock: clock, idx: idx, tick: tick}
+	return &pacedSource{fetch: newBlockFetcher(src), ref: netio.NewRefAdapter(src, nil), clock: clock, idx: idx, tick: tick}
 }
 
 func (p *pacedSource) pace(ts time.Duration) {
@@ -177,6 +178,17 @@ func (p *pacedSource) ReadBlock(dst []netio.Packet) (int, error) {
 		p.pace(dst[n-1].Timestamp)
 	}
 	return n, err
+}
+
+// ReadBlockRef implements netio.BlockRefSource through an embedded
+// RefAdapter over the vantage's source, so paced vantages keep the engine's
+// handle-based zero-copy dispatch.
+func (p *pacedSource) ReadBlockRef(dst []netio.Packet) (int, *netio.Block, error) {
+	n, blk, err := p.ref.ReadBlockRef(dst)
+	if n > 0 {
+		p.pace(dst[n-1].Timestamp)
+	}
+	return n, blk, err
 }
 
 // RunSources drains every named source through its own vantage pipeline

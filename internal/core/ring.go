@@ -1,20 +1,25 @@
 package core
 
-// Bounded lock-free SPSC rings: the dispatcher→shard hand-off. Each shard
-// owns one ring whose slots carry pre-parsed entry batches plus a payload
-// arena. All slot storage is allocated once when the ring is built and
+// Bounded lock-free SPSC rings: the dispatcher→shard hand-off. Each
+// (reader, shard) pair owns one ring whose slots carry pre-parsed entry
+// batches. Entries no longer embed payload copies: since PR 9 they carry
+// handles into refcounted netio.Block arenas (or stable source storage), so
+// a payload moves from the packet source to the shard by reference — the
+// per-slot payload arenas (and their ~525 dispatch bytes/pkt of copying)
+// are gone. All slot storage is allocated once when the ring is built and
 // recycled in place forever after — no sync.Pool round-trips, no per-batch
-// reallocation, so a steady packet rate moves zero bytes through the
-// allocator on the dispatch path (the PR 2 batched-channel design paid ~4×
-// byte amplification exactly here).
+// reallocation.
 //
 // The synchronization is the classic single-producer/single-consumer ring:
 // a head index advanced only by the producer and a tail index advanced
 // only by the consumer, each on its own cache line so the two sides never
-// false-share. Both sides spin briefly (yielding to the scheduler, which
-// on a saturated machine is the fast path) and then park on a buffered
-// wake channel, with the usual set-flag/recheck/sleep protocol so a wake
-// is never lost.
+// false-share. The producer side spins briefly (yielding to the scheduler,
+// which on a saturated machine is the fast path) and then parks on a
+// buffered wake channel, with the usual set-flag/recheck/sleep protocol so
+// a wake is never lost. The consumer side is shared: one shard drains R
+// rings (one per reader) through a single consGate, so the MPSC hand-off
+// is composed from SPSC rings without any new lock-free structure — see
+// shardWorker.run for the fair drain loop.
 
 import (
 	"runtime"
@@ -23,6 +28,7 @@ import (
 
 	"repro/internal/flows"
 	"repro/internal/layers"
+	"repro/internal/netio"
 )
 
 // Entry kinds carried by ring slots.
@@ -35,9 +41,13 @@ const (
 // shardEntry is one pre-parsed unit of shard work. The dispatcher has
 // already parsed the frame, extracted and oriented the flow key, and
 // decided the direction, so the shard touches only its own flow table and
-// resolver — no re-parse, no re-orient. Entries live in slot arenas that
-// are recycled on release, so a *shardEntry must never outlive the batch
-// it was delivered in.
+// resolver — no re-parse, no re-orient. Entries live in slot storage that
+// is recycled on release, so a *shardEntry must never outlive the batch it
+// was delivered in. The payload handle (pay/blk) is slab-adjacent: pay
+// aliases blk's refcounted arena (or stable source storage when blk is
+// nil), the dispatcher takes one block reference per appended entry, and
+// releaseSlotBlocks returns them when the slot retires — so the bytes
+// behind pay are valid for exactly as long as the entry itself.
 //
 //dnhunter:slab
 type shardEntry struct {
@@ -47,28 +57,46 @@ type shardEntry struct {
 	// (entryFlow/entryExpire): computed once by the dispatcher's tracker,
 	// consumed by the shard table via OrientedPacket.Hash / ExpireFlow.
 	hash uint64
-	// payOff/payLen locate the payload copy in the slot arena.
-	payOff, payLen uint32
-	kind           uint8
-	c2s            bool // entryFlow: packet direction under key's orientation
-	tcp            bool // entryFlow: transport is TCP
-	flags          layers.TCPFlags
+	// pay is the transport payload, aliasing blk's arena (or stable source
+	// storage when blk is nil); nil when the entry carries no payload.
+	pay []byte
+	// blk is the refcounted block backing pay; the entry holds one
+	// reference, released by releaseSlotBlocks when the slot retires.
+	blk   *netio.Block
+	kind  uint8
+	c2s   bool // entryFlow: packet direction under key's orientation
+	tcp   bool // entryFlow: transport is TCP
+	flags layers.TCPFlags
 }
 
-// ringSlot is one batch in flight: entries plus the arena holding their
-// payload copies. Capacity is fixed at ring construction; buf may grow
-// once to fit an oversized payload and then stays at that size.
+// ringSlot is one batch in flight. Capacity is fixed at ring construction.
 type ringSlot struct {
 	entries []shardEntry
-	buf     []byte
 }
 
-// payload returns e's payload bytes inside s, nil when empty.
-func (s *ringSlot) payload(e *shardEntry) []byte {
-	if e.payLen == 0 {
-		return nil
+// releaseSlotBlocks returns every block reference the slot's entries hold,
+// batching consecutive same-block runs into one atomic add (entries from
+// one read block are adjacent, so a full slot usually costs a handful of
+// adds, not one per entry). It also clears the handles so recycled slot
+// storage never pins a block or a source buffer.
+func releaseSlotBlocks(s *ringSlot) {
+	var run *netio.Block
+	var n int64
+	for i := range s.entries {
+		e := &s.entries[i]
+		b := e.blk
+		e.blk, e.pay = nil, nil
+		if b != run {
+			if run != nil {
+				run.Release(n)
+			}
+			run, n = b, 0
+		}
+		n++
 	}
-	return s.buf[e.payOff : e.payOff+e.payLen]
+	if run != nil {
+		run.Release(n)
+	}
 }
 
 // Spin budgets before parking. Each spin is a runtime.Gosched, which on a
@@ -84,9 +112,22 @@ const (
 // two sides never invalidate each other's cache line.
 type cacheLinePad [64]byte
 
+// consGate is one consumer's park/wake state, shared by every ring that
+// consumer drains (a shard parks once across its R reader rings; any of
+// their producers wakes it). The usual set-flag/recheck/sleep protocol
+// applies: the consumer stores parked, rechecks every ring, and only then
+// sleeps, so a producer's wake is never lost.
+type consGate struct {
+	parked atomic.Bool
+	wake   chan struct{}
+}
+
+func newConsGate() *consGate { return &consGate{wake: make(chan struct{}, 1)} }
+
 // spscRing is the bounded single-producer/single-consumer slot ring.
 // Exactly one goroutine may call producer methods (slot, publish, close)
-// and exactly one may call consumer methods (consume, release).
+// and exactly one may call consumer methods (tryConsume, release) — the
+// consumer may be shared across rings via the consGate.
 //
 //dnhunter:hotatomic
 type spscRing struct {
@@ -101,24 +142,26 @@ type spscRing struct {
 
 	closed     atomic.Bool
 	prodParked atomic.Bool
-	consParked atomic.Bool
 	prodWake   chan struct{}
-	consWake   chan struct{}
+	gate       *consGate
+
+	// parks, when non-nil, counts producer park events (ring full past the
+	// spin budget) — the per-reader backpressure gauge.
+	parks *atomic.Uint64
 
 	// acquired tracks whether the producer's current fill slot has been
-	// claimed (waited free and reset). batch/bufCap size slot storage on
-	// first use. Producer-only state.
+	// claimed (waited free and reset). batch sizes slot storage on first
+	// use. Producer-only state.
 	acquired bool
 	batch    int
-	bufCap   int
 }
 
 // newRing builds a ring of `depth` slots (rounded up to a power of two),
-// each holding up to batch entries and an arena of bufCap payload bytes.
-// Slot storage is allocated on a slot's first use — a short trace that
-// never wraps the ring only pays for the slots it touches — and recycled
-// in place forever after.
-func newRing(depth, batch, bufCap int) *spscRing {
+// each holding up to batch entries, waking its consumer through gate. Slot
+// storage is allocated on a slot's first use — a short trace that never
+// wraps the ring only pays for the slots it touches — and recycled in
+// place forever after.
+func newRing(depth, batch int, gate *consGate) *spscRing {
 	if depth < 2 {
 		depth = 2
 	}
@@ -130,9 +173,8 @@ func newRing(depth, batch, bufCap int) *spscRing {
 		slots:    make([]ringSlot, size),
 		mask:     uint64(size - 1),
 		batch:    batch,
-		bufCap:   bufCap,
 		prodWake: make(chan struct{}, 1),
-		consWake: make(chan struct{}, 1),
+		gate:     gate,
 	}
 }
 
@@ -143,11 +185,8 @@ func (r *spscRing) claim(h uint64) *ringSlot {
 	if s.entries == nil {
 		//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
 		s.entries = make([]shardEntry, 0, r.batch)
-		//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
-		s.buf = make([]byte, 0, r.bufCap)
 	}
 	s.entries = s.entries[:0]
-	s.buf = s.buf[:0]
 	r.acquired = true
 	return s
 }
@@ -164,6 +203,9 @@ func (r *spscRing) slot() *ringSlot {
 				spins++
 				runtime.Gosched()
 				continue
+			}
+			if r.parks != nil {
+				r.parks.Add(1)
 			}
 			r.prodParked.Store(true)
 			if h-r.tail.Load() < size {
@@ -215,6 +257,18 @@ func (r *spscRing) publish() {
 	r.wakeConsumer()
 }
 
+// discardFill releases the unpublished fill slot's block references (the
+// abort path: entries that will never reach a shard must still return
+// their refs so blocks recycle).
+func (r *spscRing) discardFill() {
+	if !r.acquired {
+		return
+	}
+	s := &r.slots[r.head.Load()&r.mask]
+	releaseSlotBlocks(s)
+	s.entries = s.entries[:0]
+}
+
 // close marks the stream finished (after a final publish) and wakes the
 // consumer so it can observe the close. Producer side only.
 func (r *spscRing) close() {
@@ -223,49 +277,42 @@ func (r *spscRing) close() {
 }
 
 func (r *spscRing) wakeConsumer() {
-	if r.consParked.Load() {
+	if r.gate.parked.Load() {
 		select {
-		case r.consWake <- struct{}{}:
+		case r.gate.wake <- struct{}{}:
 		default:
 		}
 	}
 }
 
-// consume returns the next published slot, blocking until one is
-// available. It returns ok=false once the ring is closed and drained.
-// The slot stays valid until release.
-func (r *spscRing) consume() (*ringSlot, bool) {
+// tryConsume returns the next published slot without blocking; ok=false
+// when none is ready. The slot stays valid until release.
+func (r *spscRing) tryConsume() (*ringSlot, bool) {
 	t := r.tail.Load()
-	for spins := 0; ; {
-		if r.head.Load() > t {
-			return &r.slots[t&r.mask], true
-		}
-		if r.closed.Load() {
-			// Re-check after observing the close: the producer's final
-			// publish happens before close, but our first head load may
-			// predate it.
-			if r.head.Load() > t {
-				return &r.slots[t&r.mask], true
-			}
-			return nil, false
-		}
-		if spins < ringConsumerSpins {
-			spins++
-			runtime.Gosched()
-			continue
-		}
-		r.consParked.Store(true)
-		if r.head.Load() > t || r.closed.Load() {
-			r.consParked.Store(false)
-			continue
-		}
-		<-r.consWake
-		r.consParked.Store(false)
-		spins = 0
+	if r.head.Load() > t {
+		return &r.slots[t&r.mask], true
 	}
+	return nil, false
 }
 
-// release returns the consumed slot to the producer.
+// drained reports a closed ring with no published slot left. The head
+// re-load after observing the close matters: the producer's final publish
+// happens before close, but a first head load may predate it.
+func (r *spscRing) drained() bool {
+	if !r.closed.Load() {
+		return false
+	}
+	return r.head.Load() == r.tail.Load()
+}
+
+// ready reports that the consumer should rescan this ring: a published
+// slot is waiting, or the ring closed (so the drain check can retire it).
+func (r *spscRing) ready() bool {
+	return r.head.Load() > r.tail.Load() || r.closed.Load()
+}
+
+// release returns the consumed slot to the producer. The caller has
+// already returned the slot's block references (releaseSlotBlocks).
 func (r *spscRing) release() {
 	r.tail.Add(1)
 	if r.prodParked.Load() {
@@ -273,5 +320,32 @@ func (r *spscRing) release() {
 		case r.prodWake <- struct{}{}:
 		default:
 		}
+	}
+}
+
+// consume is the single-ring blocking drain (tests and simple consumers):
+// it returns the next published slot, blocking until one is available, and
+// ok=false once the ring is closed and drained.
+func (r *spscRing) consume() (*ringSlot, bool) {
+	for spins := 0; ; {
+		if s, ok := r.tryConsume(); ok {
+			return s, true
+		}
+		if r.drained() {
+			return nil, false
+		}
+		if spins < ringConsumerSpins {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		r.gate.parked.Store(true)
+		if r.ready() {
+			r.gate.parked.Store(false)
+			continue
+		}
+		<-r.gate.wake
+		r.gate.parked.Store(false)
+		spins = 0
 	}
 }

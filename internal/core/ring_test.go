@@ -2,23 +2,23 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/netio"
 	"repro/internal/synth"
 )
 
 // fillEntries publishes count sequence-numbered entries through r in slots
 // of the ring's batch size, using the `at` field as the sequence number.
+// Payloads are per-entry heap slices (blk nil — the stable-storage case).
 func fillEntries(r *spscRing, count, batch int) {
 	for seq := 0; seq < count; {
 		s := r.slot()
 		for len(s.entries) < batch && seq < count {
 			e := shardEntry{at: time.Duration(seq), kind: entryFlow}
-			p := []byte(fmt.Sprintf("p%d", seq))
-			e.payOff = uint32(len(s.buf))
-			e.payLen = uint32(len(p))
-			s.buf = append(s.buf, p...)
+			e.pay = []byte(fmt.Sprintf("p%d", seq))
 			s.entries = append(s.entries, e)
 			seq++
 		}
@@ -28,7 +28,8 @@ func fillEntries(r *spscRing, count, batch int) {
 }
 
 // drainEntries consumes everything from r, verifying FIFO order and
-// payload integrity, and returns the number of entries seen.
+// payload integrity, and returns the number of entries seen. It releases
+// slot handles before returning slots, exactly like shardWorker.run.
 func drainEntries(t *testing.T, r *spscRing) int {
 	t.Helper()
 	seq := 0
@@ -42,11 +43,12 @@ func drainEntries(t *testing.T, r *spscRing) int {
 			if got, want := int(e.at), seq; got != want {
 				t.Fatalf("entry %d: sequence %d out of order", want, got)
 			}
-			if got, want := string(s.payload(e)), fmt.Sprintf("p%d", seq); got != want {
+			if got, want := string(e.pay), fmt.Sprintf("p%d", seq); got != want {
 				t.Fatalf("entry %d: payload %q, want %q", seq, got, want)
 			}
 			seq++
 		}
+		releaseSlotBlocks(s)
 		r.release()
 	}
 }
@@ -56,7 +58,7 @@ func drainEntries(t *testing.T, r *spscRing) int {
 // exercised at every boundary because producer and consumer alternate.
 func TestRingWraparound(t *testing.T) {
 	const batch = 3
-	r := newRing(4, batch, 64)
+	r := newRing(4, batch, newConsGate())
 	depth := len(r.slots)
 	const rounds = 10
 	total := depth * rounds * batch
@@ -75,11 +77,12 @@ func TestRingWraparound(t *testing.T) {
 				if int(e.at) != n {
 					t.Errorf("entry %d: sequence %d out of order", n, int(e.at))
 				}
-				if got, want := string(s.payload(e)), fmt.Sprintf("p%d", n); got != want {
+				if got, want := string(e.pay), fmt.Sprintf("p%d", n); got != want {
 					t.Errorf("entry %d: payload %q, want %q", n, got, want)
 				}
 				n++
 			}
+			releaseSlotBlocks(s)
 			r.release()
 		}
 	}()
@@ -91,10 +94,13 @@ func TestRingWraparound(t *testing.T) {
 
 // TestRingBackpressure parks the producer on a full ring: the consumer
 // releases slots only after a delay, so the producer must block (not drop,
-// not overwrite) until wraparound space frees up.
+// not overwrite) until wraparound space frees up. The park counter must
+// record the stall.
 func TestRingBackpressure(t *testing.T) {
 	const batch = 4
-	r := newRing(2, batch, 64)
+	r := newRing(2, batch, newConsGate())
+	var parks atomic.Uint64
+	r.parks = &parks
 	total := len(r.slots) * batch * 8
 
 	produced := make(chan struct{})
@@ -113,13 +119,16 @@ func TestRingBackpressure(t *testing.T) {
 		t.Fatalf("consumed %d entries, want %d", got, total)
 	}
 	<-produced
+	if parks.Load() == 0 {
+		t.Error("producer parked on a full ring but the park counter stayed zero")
+	}
 }
 
 // TestRingCloseDrainsPartial publishes a final partial slot before close;
 // the consumer must see every entry, then observe the close.
 func TestRingCloseDrainsPartial(t *testing.T) {
 	const batch = 8
-	r := newRing(4, batch, 64)
+	r := newRing(4, batch, newConsGate())
 	const total = batch*2 + 3 // last slot deliberately partial
 	go fillEntries(r, total, batch)
 	if got := drainEntries(t, r); got != total {
@@ -130,7 +139,7 @@ func TestRingCloseDrainsPartial(t *testing.T) {
 // TestRingCloseEmpty closes a ring that never published; the consumer must
 // return immediately with ok=false even from a parked wait.
 func TestRingCloseEmpty(t *testing.T) {
-	r := newRing(2, 4, 16)
+	r := newRing(2, 4, newConsGate())
 	go func() {
 		time.Sleep(5 * time.Millisecond) // let the consumer park first
 		r.close()
@@ -145,7 +154,7 @@ func TestRingCloseEmpty(t *testing.T) {
 // atomic indices, so any missing happens-before edge shows up here.
 func TestRingConcurrentStress(t *testing.T) {
 	const batch = 16
-	r := newRing(8, batch, 256)
+	r := newRing(8, batch, newConsGate())
 	const total = 100_000
 	go fillEntries(r, total, batch)
 	if got := drainEntries(t, r); got != total {
@@ -153,35 +162,54 @@ func TestRingConcurrentStress(t *testing.T) {
 	}
 }
 
-// TestRingArenaOverflowGrows feeds a payload larger than the slot arena:
-// the slot must grow (entries keep valid offsets) rather than truncate.
-func TestRingArenaOverflowGrows(t *testing.T) {
-	r := newRing(2, 4, 8) // 8-byte arena
-	big := make([]byte, 100)
-	for i := range big {
-		big[i] = byte(i)
-	}
+// TestRingBlockHandleRelease runs block-backed payloads through a ring:
+// every appended entry takes a reference, the consumer's releaseSlotBlocks
+// must return them all (the pool sees the block retire exactly once), and
+// discardFill must do the same for an unpublished fill slot (abort path).
+func TestRingBlockHandleRelease(t *testing.T) {
+	pool := netio.NewBlockPool(1024, 4)
+	r := newRing(2, 4, newConsGate())
+
+	blk := pool.Get(0)
 	s := r.slot()
-	e := shardEntry{kind: entryFlow, payOff: uint32(len(s.buf)), payLen: uint32(len(big))}
-	s.buf = append(s.buf, big...)
-	s.entries = append(s.entries, e)
+	for i := 0; i < 3; i++ {
+		blk.Retain(1)
+		s.entries = append(s.entries, shardEntry{at: time.Duration(i), kind: entryFlow, pay: []byte("x"), blk: blk})
+	}
 	r.publish()
 	r.close()
+	blk.Release(1) // the producer's own Get reference
 
 	got, ok := r.consume()
 	if !ok {
 		t.Fatal("no slot")
 	}
-	p := got.payload(&got.entries[0])
-	if len(p) != len(big) {
-		t.Fatalf("payload length %d, want %d", len(p), len(big))
+	if n := len(got.entries); n != 3 {
+		t.Fatalf("consumed %d entries, want 3", n)
 	}
-	for i := range p {
-		if p[i] != big[i] {
-			t.Fatalf("payload byte %d corrupted", i)
+	releaseSlotBlocks(got)
+	r.release()
+	if st := pool.Stats(); st.Retired != 1 {
+		t.Fatalf("block retired %d times after consumer release, want 1", st.Retired)
+	}
+	for i := range got.entries {
+		if got.entries[i].blk != nil || got.entries[i].pay != nil {
+			t.Fatalf("entry %d: handles not cleared after releaseSlotBlocks", i)
 		}
 	}
-	r.release()
+
+	// Abort path: entries sitting in a never-published fill slot.
+	blk2 := pool.Get(0)
+	r2 := newRing(2, 4, newConsGate())
+	s2 := r2.slot()
+	blk2.Retain(1)
+	s2.entries = append(s2.entries, shardEntry{kind: entryFlow, pay: []byte("y"), blk: blk2})
+	blk2.Release(1) // producer's Get reference
+	r2.discardFill()
+	r2.close()
+	if st := pool.Stats(); st.Retired != 2 {
+		t.Fatalf("block retired %d times after discardFill, want 2", st.Retired)
+	}
 }
 
 // TestEngineShardEquivalenceBatchBoundaries sweeps the hand-off batch size

@@ -42,28 +42,38 @@ type shedShard struct {
 	_     [40]byte
 }
 
-// ShedStats accounts per-shard overload drops. The dispatcher is the only
-// writer; any goroutine may read (the metrics endpoint does). The zero
-// value is valid and reports zeroes until an engine run initializes it.
+// shedMatrix is one engine run's drop-counter grid: cell r*shards+s
+// belongs to (reader r, shard s). Each dispatcher writes only its own row,
+// so rows never contend; PerShard folds the reader dimension away for the
+// stable external shape.
+type shedMatrix struct {
+	readers int
+	shards  int
+	cells   []shedShard
+}
+
+// ShedStats accounts per-reader-per-shard overload drops. Dispatchers are
+// the only writers (each its own row); any goroutine may read (the metrics
+// endpoint does). The zero value is valid and reports zeroes until an
+// engine run initializes it.
 type ShedStats struct {
-	shards atomic.Pointer[[]shedShard]
+	m atomic.Pointer[shedMatrix]
 }
 
-// init sizes the per-shard counters; called by runSharded before the
-// dispatcher starts.
-func (s *ShedStats) init(n int) {
-	sh := make([]shedShard, n)
-	s.shards.Store(&sh)
+// init sizes the (reader, shard) counter grid; called by runSharded before
+// any dispatcher starts.
+func (s *ShedStats) init(readers, shards int) {
+	s.m.Store(&shedMatrix{readers: readers, shards: shards, cells: make([]shedShard, readers*shards)})
 }
 
-// drop records one shed entry. Called only from the dispatcher, after a
+// drop records one shed entry. Called only from a dispatcher, after a
 // failed trySlot, so it is off the no-drop fast path.
-func (s *ShedStats) drop(sh int, kind uint8, payloadLen int) {
-	p := s.shards.Load()
-	if p == nil {
+func (s *ShedStats) drop(reader, sh int, kind uint8, payloadLen int) {
+	m := s.m.Load()
+	if m == nil {
 		return
 	}
-	c := &(*p)[sh]
+	c := &m.cells[reader*m.shards+sh]
 	if kind == entryDNS {
 		c.dns.Add(1)
 	} else {
@@ -86,16 +96,21 @@ type ShedShard struct {
 	Bytes uint64
 }
 
-// PerShard returns a copy of every shard's drop counters (index == shard).
+// PerShard returns a copy of every shard's drop counters (index == shard),
+// summed over readers — the external shape is reader-count independent.
 func (s *ShedStats) PerShard() []ShedShard {
-	p := s.shards.Load()
-	if p == nil {
+	m := s.m.Load()
+	if m == nil {
 		return nil
 	}
-	out := make([]ShedShard, len(*p))
-	for i := range *p {
-		c := &(*p)[i]
-		out[i] = ShedShard{Flows: c.flows.Load(), DNS: c.dns.Load(), Bytes: c.bytes.Load()}
+	out := make([]ShedShard, m.shards)
+	for r := 0; r < m.readers; r++ {
+		for sh := 0; sh < m.shards; sh++ {
+			c := &m.cells[r*m.shards+sh]
+			out[sh].Flows += c.flows.Load()
+			out[sh].DNS += c.dns.Load()
+			out[sh].Bytes += c.bytes.Load()
+		}
 	}
 	return out
 }
@@ -109,6 +124,38 @@ func (s *ShedStats) Totals() ShedShard {
 		t.Bytes += sh.Bytes
 	}
 	return t
+}
+
+// readerCell is one reader partition's live backpressure counters, padded
+// to a cache line so adjacent readers never false-share. The stripe writes
+// pkts/shedFrames and the ingress ring's park counter points at parks; the
+// reader's dispatcher bumps meshParks through its mesh rings — distinct
+// writers per field, all packet-rate, so the padding matters.
+type readerCell struct {
+	pkts       atomic.Uint64 // frames routed to this reader
+	parks      atomic.Uint64 // stripe parks on this reader's full ingress ring
+	meshParks  atomic.Uint64 // dispatcher parks on full mesh rings (summed over shards)
+	shedFrames atomic.Uint64 // raw frames shed at ingress (serve mode, ring full)
+	_          [32]byte
+}
+
+// ReaderStat is a point-in-time copy of one reader partition's
+// backpressure counters (see Result.Readers and ServeMetrics.ReaderStats).
+type ReaderStat struct {
+	// Pkts counts raw frames routed to this reader partition.
+	Pkts uint64 `json:"pkts"`
+	// RingFullParks counts stripe park events on this reader's full ingress
+	// ring — sustained growth means the partition's dispatcher is the
+	// bottleneck (skewed clients or an overloaded core).
+	RingFullParks uint64 `json:"ring_full_parks"`
+	// MeshFullParks counts this reader's dispatcher parking on full
+	// dispatcher→shard rings — sustained growth means a shard is the
+	// bottleneck, not the parse.
+	MeshFullParks uint64 `json:"mesh_full_parks"`
+	// ShedFrames counts raw frames dropped at ingress under overload
+	// shedding, before any parse: they appear in no parser or shed-entry
+	// counter, only here.
+	ShedFrames uint64 `json:"shed_frames"`
 }
 
 // ServeMetrics is the live observable state of a serving engine. All
@@ -128,8 +175,9 @@ type ServeMetrics struct {
 	// Shed holds the per-shard overload drop counters.
 	Shed ShedStats
 
-	win   atomic.Pointer[flowdb.Windowed]
-	rings atomic.Pointer[[]*spscRing]
+	win     atomic.Pointer[flowdb.Windowed]
+	rings   atomic.Pointer[[]*spscRing]
+	readers atomic.Pointer[[]readerCell]
 }
 
 // Packets returns frames read from the source.
@@ -177,9 +225,10 @@ func (m *ServeMetrics) WindowFlushLag() time.Duration {
 	return 0
 }
 
-// RingDepths returns each shard ring's published-but-unconsumed slot
-// count; nil for a single-shard engine (no rings). A depth pinned at the
-// ring capacity (8) is a saturated shard.
+// RingDepths returns each dispatch ring's published-but-unconsumed slot
+// count, flattened shard-major (ring i*Readers+r is reader r → shard i);
+// nil for a single-shard engine (no rings). A depth pinned at the ring
+// capacity (8) is a saturated shard.
 func (m *ServeMetrics) RingDepths() []int {
 	p := m.rings.Load()
 	if p == nil {
@@ -190,6 +239,32 @@ func (m *ServeMetrics) RingDepths() []int {
 		out[i] = r.depth()
 	}
 	return out
+}
+
+// ReaderStats returns each reader partition's backpressure counters; nil
+// for a single-shard engine (no reader stage).
+func (m *ServeMetrics) ReaderStats() []ReaderStat {
+	p := m.readers.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]ReaderStat, len(*p))
+	for i := range *p {
+		c := &(*p)[i]
+		out[i] = ReaderStat{
+			Pkts:          c.pkts.Load(),
+			RingFullParks: c.parks.Load(),
+			MeshFullParks: c.meshParks.Load(),
+			ShedFrames:    c.shedFrames.Load(),
+		}
+	}
+	return out
+}
+
+// ArenaStats returns the shared payload block pool's lifecycle counters
+// (process-wide: the pool is shared by every engine in the process).
+func (m *ServeMetrics) ArenaStats() netio.BlockPoolStats {
+	return netio.DefaultBlockPool().Stats()
 }
 
 // ServeConfig tunes Server.Serve.
@@ -287,9 +362,10 @@ func (s *Server) Serve(ctx context.Context, src netio.PacketSource) (*ServeRepor
 	}
 	cfg.tapPipelines = s.tapPipelines
 	cfg.tapRings = func(rs []*spscRing) { s.metrics.rings.Store(&rs) }
+	cfg.tapReaders = func(cs []readerCell) { s.metrics.readers.Store(&cs) }
 	cfg.Sink = &serveSink{inner: cfg.Sink, m: &s.metrics, win: win}
 
-	ds := &drainSource{src: src, fetch: newBlockFetcher(src), m: &s.metrics}
+	ds := &drainSource{src: src, fetch: newBlockFetcher(src), ref: netio.NewRefAdapter(src, nil), m: &s.metrics}
 
 	// The inner context is NOT derived from ctx: cancellation must drain,
 	// not abort. The engine runs on its own goroutine so Serve can turn
@@ -455,6 +531,7 @@ func writeCheckpointFile(path string, entries []resolver.SnapshotEntry) error {
 type drainSource struct {
 	src   netio.PacketSource
 	fetch blockFetcher
+	ref   *netio.RefAdapter
 	m     *ServeMetrics
 	stop  atomic.Bool
 }
@@ -480,16 +557,34 @@ func (d *drainSource) ReadBlock(dst []netio.Packet) (int, error) {
 		return 0, io.EOF
 	}
 	n, err := d.fetch.read(dst)
-	if n > 0 {
-		var b uint64
-		for i := 0; i < n; i++ {
-			b += uint64(len(dst[i].Data))
-		}
-		d.m.packets.Add(uint64(n))
-		d.m.bytes.Add(b)
-		d.m.clockNs.Store(int64(dst[n-1].Timestamp))
-	}
+	d.count(dst, n)
 	return n, err
+}
+
+// ReadBlockRef implements netio.BlockRefSource through an embedded
+// RefAdapter over the wrapped source, so the engine's handle-based dispatch
+// stays zero-copy through serve mode (the adapter delegates directly when
+// the source is itself a BlockRefSource).
+func (d *drainSource) ReadBlockRef(dst []netio.Packet) (int, *netio.Block, error) {
+	if d.stop.Load() {
+		return 0, nil, io.EOF
+	}
+	n, blk, err := d.ref.ReadBlockRef(dst)
+	d.count(dst, n)
+	return n, blk, err
+}
+
+func (d *drainSource) count(dst []netio.Packet, n int) {
+	if n <= 0 {
+		return
+	}
+	var b uint64
+	for i := 0; i < n; i++ {
+		b += uint64(len(dst[i].Data))
+	}
+	d.m.packets.Add(uint64(n))
+	d.m.bytes.Add(b)
+	d.m.clockNs.Store(int64(dst[n-1].Timestamp))
 }
 
 // serveSink wraps the user sink: it counts events for the metrics and

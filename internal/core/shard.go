@@ -1,16 +1,23 @@
 package core
 
-// Sharded execution (Shards > 1): a single dispatcher goroutine block-reads
-// frames, parses them, extracts and orients the flow key, and hands each
-// shard pre-framed (key, direction, flags, payload) entries over a bounded
-// lock-free SPSC ring (see ring.go). Each shard runs its own
-// single-threaded DNHunter (resolver Clist, flow table, tag slice).
-// The paper suggests exactly this partitioning for parallel deployments
-// (§3.1.1): all state is keyed by client, so clients can be split across
-// independent pipelines with no shared mutable state.
+// Sharded execution (Shards > 1): dispatchers parse frames, extract and
+// orient flow keys, and hand each shard pre-framed (key, direction, flags,
+// payload-handle) entries over bounded lock-free SPSC rings (see ring.go).
+// Each shard runs its own single-threaded DNHunter (resolver Clist, flow
+// table, tag slice). The paper suggests exactly this partitioning for
+// parallel deployments (§3.1.1): all state is keyed by client, so clients
+// can be split across independent pipelines with no shared mutable state.
+//
+// With Readers == 1 the classic shape applies: one goroutine block-reads,
+// parses, and dispatches. With Readers > 1 the same argument is applied
+// once more, upstream: the parse itself is keyed by client too, so a thin
+// stripe stage (see stripe.go) routes raw frames by a ~40-byte header peek
+// onto R dispatcher partitions, each with its own parser and flow tracker,
+// and every (reader, shard) pair gets its own SPSC ring — the MPSC
+// hand-off is composed from R×S SPSC rings, no new lock-free structure.
 //
 // Equivalence with the single-threaded pipeline is exact, not approximate,
-// because the dispatcher mirrors every piece of global state that decides
+// because each dispatcher mirrors every piece of global state that decides
 // where a packet must go (flows.Tracker — the same swiss index and recency
 // list the Table itself runs on):
 //
@@ -26,22 +33,26 @@ package core
 //     the same packet in both modes.
 //   - Idle expiry. Shard tables run with the amortized auto-sweep
 //     disabled; at the exact trace times a single-threaded table would
-//     sweep, the dispatcher computes the expired set centrally
-//     (Tracker.ExpireIdle walks the recency list over the global packet
-//     order — FlushIdle's exact rule) and sends each owning shard an
-//     in-band per-flow expiry command, so idle flows are expired (and
-//     split into the same records) regardless of shard count. Shards do
-//     O(1) work per expired flow; nobody scans active flows.
+//     sweep, the expired set is computed centrally (Tracker.ExpireIdle
+//     walks the recency list — FlushIdle's exact rule) and each owning
+//     shard receives an in-band per-flow expiry command, so idle flows are
+//     expired (and split into the same records) regardless of shard count.
+//     With Readers > 1 the stripe owns the sweep schedule and the global
+//     clock, broadcasting in-band sweep markers so every partition expires
+//     at the same trace times (see stripe.go for the full argument).
 //
-// The one intentional deviation: each shard has its own Clist of the
+// The intentional deviations: each shard has its own Clist of the
 // configured size, so aggregate eviction behaviour differs from one global
-// Clist once a shard overflows. Size the Clist for the per-shard client
-// population (the paper sizes it for ~1 hour of responses).
+// Clist once a shard overflows (size it for the per-shard population); and
+// with Readers > 1, flows whose two endpoints are both inside or both
+// outside the client networks ride a symmetric fallback stripe, so their
+// ordering against either endpoint's DNS stream is best-effort.
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand/v2"
 	"net/netip"
 	"runtime"
@@ -60,96 +71,155 @@ import (
 // enough to keep shards busy on short traces.
 const defaultBatch = 512
 
-// ringDepth is the number of slots per shard ring: enough in-flight
-// batches that a briefly stalled shard does not back-pressure the
-// dispatcher, few enough that total slab memory stays modest.
+// ringDepth is the number of slots per ring: enough in-flight batches that
+// a briefly stalled consumer does not back-pressure its producer, few
+// enough that total slot memory stays modest.
 const ringDepth = 8
 
-// slotBufPerEntry sizes each slot's payload arena (batch × this many
-// bytes). A slot publishes early rather than outgrow its arena, so slot
-// storage is allocated once; only a single payload larger than the whole
-// arena forces a (one-time, kept) growth.
-const slotBufPerEntry = 128
-
-// blockLen is how many packets the reader stage requests per ReadBlock.
+// blockLen is how many packets the reader stage requests per block read.
 const blockLen = 256
 
-// shardWorker owns one pipeline shard.
+// shardWorker owns one pipeline shard, draining one ring per reader.
 type shardWorker struct {
-	h    *DNHunter
-	ring *spscRing
+	h     *DNHunter
+	rings []*spscRing // one per reader, all waking the shared gate
+	gate  *consGate
 }
 
-// run drains ring slots until the ring closes, then flushes the shard's
-// flow table. When abort is set (cancellation) it keeps consuming so the
-// dispatcher never blocks on a full ring, but stops processing.
+// run drains the shard's reader rings until all close, then flushes the
+// shard's flow table. The scan is a fair fixed-order sweep: each pass
+// consumes at most one slot per ring, so no reader partition can starve
+// another, and the shard parks once on its shared gate (any producer
+// wakes it) when no ring has work. When abort is set (cancellation) it
+// keeps consuming — and keeps returning block references — so no
+// dispatcher ever blocks on a full ring, but stops processing.
 //
 //dnhunter:hotpath
 func (w *shardWorker) run(wg *sync.WaitGroup, abort *atomic.Bool) {
 	defer wg.Done()
-	for {
-		s, ok := w.ring.consume()
-		if !ok {
-			break
-		}
-		if !abort.Load() {
-			for i := range s.entries {
-				e := &s.entries[i]
-				switch e.kind {
-				case entryFlow:
-					w.h.handleOrientedFlow(e, s.payload(e))
-				case entryDNS:
-					w.h.handleDNSPayload(e.key.ClientIP, s.payload(e), e.at)
-				case entryExpire:
-					w.h.expireFlow(e.key, e.hash)
+	//dnhunter:alloc-ok one-time per-run drain bookkeeping, not per-packet
+	done := make([]bool, len(w.rings))
+	for remaining := len(w.rings); remaining > 0; {
+		progressed := false
+		for i, r := range w.rings {
+			if done[i] {
+				continue
+			}
+			if s, ok := r.tryConsume(); ok {
+				if !abort.Load() {
+					w.process(s)
 				}
+				releaseSlotBlocks(s)
+				r.release()
+				progressed = true
+				continue
+			}
+			if r.drained() {
+				done[i] = true
+				remaining--
+				progressed = true
 			}
 		}
-		w.ring.release()
+		if progressed || remaining == 0 {
+			continue
+		}
+		for spins := 0; ; {
+			if w.anyReady(done) {
+				break
+			}
+			if spins < ringConsumerSpins {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			w.gate.parked.Store(true)
+			if w.anyReady(done) {
+				w.gate.parked.Store(false)
+				break
+			}
+			<-w.gate.wake
+			w.gate.parked.Store(false)
+			spins = 0
+		}
 	}
 	if !abort.Load() {
 		w.h.Close()
 	}
 }
 
-// dispatcher parses, routes, batches, and sweeps.
-type dispatcher struct {
-	workers []*shardWorker
-	parser  layers.Parser
-	rings   []*spscRing
-	batch   int
-	bufMax  int
+// anyReady reports whether any still-open ring has a published slot or a
+// close to observe.
+func (w *shardWorker) anyReady(done []bool) bool {
+	for i, r := range w.rings {
+		if !done[i] && r.ready() {
+			return true
+		}
+	}
+	return false
+}
 
-	// tracker mirrors the shard tables' flow lifecycle over the global
+// process applies one consumed slot to the shard pipeline.
+//
+//dnhunter:hotpath
+func (w *shardWorker) process(s *ringSlot) {
+	for i := range s.entries {
+		e := &s.entries[i]
+		switch e.kind {
+		case entryFlow:
+			w.h.handleOrientedFlow(e, e.pay)
+		case entryDNS:
+			w.h.handleDNSPayload(e.key.ClientIP, e.pay, e.at)
+		case entryExpire:
+			w.h.expireFlow(e.key, e.hash)
+		}
+	}
+}
+
+// dispatcher parses, routes, and batches one reader partition.
+type dispatcher struct {
+	reader  int
+	nshards int
+	parser  layers.Parser
+	rings   []*spscRing // this reader's row of the (reader, shard) mesh
+	batch   int
+
+	// tracker mirrors the shard tables' flow lifecycle over this partition's
 	// packet order; assign/expire are its prebound callbacks (bound once so
 	// the per-packet Route call passes a plain func value, no closure).
-	tracker   *flows.Tracker
-	assign    func(netip.Addr) uint32
-	expire    func(flows.Key, uint64, uint32)
+	tracker *flows.Tracker
+	assign  func(netip.Addr) uint32
+	expire  func(flows.Key, uint64, uint32)
+	// idle/sweepMark drive the amortized sweep on the Readers==1 path; with
+	// Readers>1 the stripe owns the schedule and ships srcSweep markers.
 	idle      time.Duration
 	sweepMark time.Duration
 
 	// shed, when non-nil, switches enqueue from blocking back-pressure to
 	// overload shedding: entries bound for a full ring are dropped (and
-	// counted per shard) instead of stalling the reader. Serve mode sets
-	// it; batch runs keep the blocking behaviour. Expiry commands and
-	// flow-closing segments are never shed — see enqueue.
+	// counted per reader per shard) instead of stalling the reader. Serve
+	// mode sets it; batch runs keep the blocking behaviour. Expiry commands
+	// and flow-closing segments are never shed — see enqueue.
 	shed *ShedStats
 }
 
 // runSharded is the Shards>1 path.
 func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Result, error) {
 	n := e.cfg.Shards
+	nr := e.cfg.Readers
+	if nr < 1 {
+		nr = 1
+	}
 	sink := SyncSink(e.cfg.Sink)
 
-	bufCap := e.cfg.Batch * slotBufPerEntry
 	seed := rand.Uint64() | 1 // shared tracker/table hash seed, never zero
 	workers := make([]*shardWorker, n)
+	gates := make([]*consGate, n)
 	for i := range workers {
 		fcfg := e.cfg.Flows
 		fcfg.DisableAutoSweep = true // dispatcher drives expiry via tracker commands
 		fcfg.OnRecord = nil          // engine-managed; see EngineConfig.Flows
 		fcfg.Seed = seed
+		gates[i] = newConsGate()
 		workers[i] = &shardWorker{
 			h: New(sinkConfig(Config{
 				Resolver:  e.cfg.Resolver,
@@ -158,7 +228,25 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 				Vantage:   e.cfg.Vantage,
 				DiscardDB: e.cfg.DiscardDB,
 			}, sink)),
-			ring: newRing(ringDepth, e.cfg.Batch, bufCap),
+			gate: gates[i],
+		}
+	}
+	// The (reader, shard) ring mesh: dispatcher r produces into mesh[r],
+	// shard s consumes mesh[·][s] through its shared gate.
+	cells := make([]readerCell, nr)
+	mesh := make([][]*spscRing, nr)
+	for r := range mesh {
+		mesh[r] = make([]*spscRing, n)
+		for s := range mesh[r] {
+			ring := newRing(ringDepth, e.cfg.Batch, gates[s])
+			ring.parks = &cells[r].meshParks
+			mesh[r][s] = ring
+		}
+	}
+	for i, w := range workers {
+		w.rings = make([]*spscRing, nr)
+		for r := 0; r < nr; r++ {
+			w.rings[r] = mesh[r][i]
 		}
 	}
 	if e.cfg.tapPipelines != nil {
@@ -179,69 +267,160 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 		go w.run(&wg, &abort)
 	}
 
-	// One shared hash seed: the tracker computes each flow key's hash once
-	// at dispatch and ships it; shard tables (built with the same seed via
+	// One shared hash seed: each tracker computes a flow key's hash once at
+	// dispatch and ships it; shard tables (built with the same seed via
 	// fcfg.Seed above) use it directly instead of re-hashing per packet.
-	tracker := flows.NewTracker(e.cfg.Flows.ClientNets, e.cfg.Flows.IdleTimeout, seed)
-	d := &dispatcher{
-		workers: workers,
-		rings:   make([]*spscRing, n),
-		batch:   e.cfg.Batch,
-		bufMax:  bufCap,
-		tracker: tracker,
-		idle:    tracker.IdleTimeout(), // lockstep with flows.NewTable's default
-	}
-	d.assign = d.shardOf
-	d.expire = d.enqueueExpire
-	for i, w := range workers {
-		d.rings[i] = w.ring
+	dispatchers := make([]*dispatcher, nr)
+	for r := range dispatchers {
+		tracker := flows.NewTracker(e.cfg.Flows.ClientNets, e.cfg.Flows.IdleTimeout, seed)
+		d := &dispatcher{
+			reader:  r,
+			nshards: n,
+			rings:   mesh[r],
+			batch:   e.cfg.Batch,
+			tracker: tracker,
+			idle:    tracker.IdleTimeout(), // lockstep with flows.NewTable's default
+		}
+		d.assign = d.shardOf
+		d.expire = d.enqueueExpire
+		dispatchers[r] = d
 	}
 	if e.cfg.Shed != nil {
-		e.cfg.Shed.init(n)
-		d.shed = e.cfg.Shed
+		e.cfg.Shed.init(nr, n)
+		for _, d := range dispatchers {
+			d.shed = e.cfg.Shed
+		}
 	}
 	if e.cfg.tapRings != nil {
-		e.cfg.tapRings(d.rings)
+		// Shard-major flattening: ring i*nr+r is (reader r → shard i), so
+		// per-shard gauges group a shard's rings contiguously.
+		flat := make([]*spscRing, 0, nr*n)
+		for s := 0; s < n; s++ {
+			for r := 0; r < nr; r++ {
+				flat = append(flat, mesh[r][s])
+			}
+		}
+		e.cfg.tapRings(flat)
+	}
+	if e.cfg.tapReaders != nil {
+		e.cfg.tapReaders(cells)
 	}
 
 	var runErr error
 	done := ctx.Done()
 	block := make([]netio.Packet, blockLen)
-	fetch := newBlockFetcher(src)
-	for processed := 0; ; {
-		if processed&^(yieldEvery-1) != 0 {
-			processed &= yieldEvery - 1
-			runtime.Gosched() // see yieldEvery
-		}
-		select {
-		case <-done:
-			runErr = ctx.Err()
-		default:
+	adapter := netio.NewRefAdapter(src, nil)
+	if nr == 1 {
+		// Classic shape: the Run goroutine reads, parses, and dispatches.
+		d := dispatchers[0]
+		for processed := 0; ; {
+			if processed&^(yieldEvery-1) != 0 {
+				processed &= yieldEvery - 1
+				runtime.Gosched() // see yieldEvery
+			}
+			select {
+			case <-done:
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+			bn, blk, err := adapter.ReadBlockRef(block)
+			cells[0].pkts.Add(uint64(bn))
+			for i := 0; i < bn; i++ {
+				d.dispatch(block[i], blk)
+			}
+			if blk != nil {
+				blk.Release(1) // the reader's own reference, after distribution
+			}
+			processed += bn
+			if err != nil {
+				if err != io.EOF {
+					runErr = fmt.Errorf("core: packet source: %w", err)
+				}
+				break
+			}
 		}
 		if runErr != nil {
-			break
-		}
-		bn, err := fetch.read(block)
-		for i := 0; i < bn; i++ {
-			d.dispatch(block[i])
-		}
-		processed += bn
-		if err != nil {
-			if err != io.EOF {
-				runErr = fmt.Errorf("core: packet source: %w", err)
+			abort.Store(true)
+			for _, r := range d.rings {
+				r.discardFill() // return refs held by never-published entries
 			}
-			break
+		} else {
+			for _, r := range d.rings {
+				r.publish() // final partial slots
+			}
 		}
-	}
-	if runErr != nil {
-		abort.Store(true)
-	} else {
 		for _, r := range d.rings {
-			r.publish() // final partial slots
+			r.close()
 		}
-	}
-	for _, r := range d.rings {
-		r.close()
+	} else {
+		// Striped shape: the Run goroutine becomes the stripe (raw-frame
+		// routing only), and each dispatcher runs on its own goroutine.
+		ingress := make([]*srcRing, nr)
+		for r := range ingress {
+			ingress[r] = newSrcRing(ringDepth, e.cfg.Batch)
+			ingress[r].parks = &cells[r].parks
+		}
+		st := &stripe{
+			ingress: ingress,
+			nets:    e.cfg.Flows.ClientNets,
+			cells:   cells,
+			idle:    dispatchers[0].idle,
+			batch:   e.cfg.Batch,
+			shed:    e.cfg.Shed != nil,
+		}
+		var dwg sync.WaitGroup
+		for r, d := range dispatchers {
+			dwg.Add(1)
+			go d.runLoop(&dwg, ingress[r], &abort)
+		}
+		for processed := 0; ; {
+			if processed&^(yieldEvery-1) != 0 {
+				processed &= yieldEvery - 1
+				runtime.Gosched()
+			}
+			select {
+			case <-done:
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+			bn, blk, err := adapter.ReadBlockRef(block)
+			for i := 0; i < bn; i++ {
+				st.route(block[i], blk)
+			}
+			if blk != nil {
+				blk.Release(1)
+			}
+			processed += bn
+			if err != nil {
+				if err != io.EOF {
+					runErr = fmt.Errorf("core: packet source: %w", err)
+				}
+				break
+			}
+		}
+		if runErr != nil {
+			abort.Store(true)
+			for _, ir := range ingress {
+				ir.discardFill()
+			}
+		} else {
+			for _, ir := range ingress {
+				ir.publish()
+			}
+		}
+		for _, ir := range ingress {
+			ir.close()
+		}
+		// Dispatchers drain their ingress rings (releasing block refs even
+		// under abort), finish their mesh rows, and close them; shards keep
+		// consuming under abort, so this join cannot deadlock.
+		dwg.Wait()
 	}
 	wg.Wait()
 	if runErr != nil {
@@ -249,45 +428,105 @@ func (e *Engine) runSharded(ctx context.Context, src netio.PacketSource) (*Resul
 	}
 
 	// Merge: per-shard databases in shard order (deterministic for a fixed
-	// shard count), counters summed.
+	// shard count), counters summed; parser stats summed over dispatchers.
 	db := flowdb.New()
 	dbs := make([]*flowdb.DB, n)
 	var st Stats
-	st.Parser = d.parser.Stats
+	st.Parser = dispatchers[0].parser.Stats
+	for _, d := range dispatchers[1:] {
+		st.Parser.Add(d.parser.Stats)
+	}
 	for i, w := range workers {
 		dbs[i] = w.h.DB()
 		st.Add(w.h.Stats())
 	}
 	db.Merge(dbs...)
-	return &Result{DB: db, Stats: st}, nil
+	readers := make([]ReaderStat, nr)
+	for i := range cells {
+		c := &cells[i]
+		readers[i] = ReaderStat{
+			Pkts:          c.pkts.Load(),
+			RingFullParks: c.parks.Load(),
+			MeshFullParks: c.meshParks.Load(),
+			ShedFrames:    c.shedFrames.Load(),
+		}
+	}
+	return &Result{DB: db, Stats: st, Readers: readers}, nil
 }
 
-// shardOfAddr hashes a client address onto one of n shards with FNV-1a:
-// deterministic across runs and processes, so a fixed shard count always
+// fastRange reduces a 64-bit hash onto [0, n) with a multiply-shift
+// (Lemire's fast range): the high word of h×n. Two multiplies cheaper than
+// the old %, and uniform for well-mixed h. It consumes the hash's HIGH
+// bits — FNV-1a's weak spot for short varying suffixes (an IPv4 host byte
+// barely reaches them), so every caller finalizes through mix64 first.
+func fastRange(h uint64, n int) uint32 {
+	hi, _ := bits.Mul64(h, uint64(n))
+	return uint32(hi)
+}
+
+// mix64 is the murmur3/splitmix64 finalizer: a bijective avalanche so
+// every input bit reaches the high bits fastRange consumes.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// addrHash is the deterministic FNV-1a digest of an address (16-byte
+// form): stable across runs and processes, so a fixed shard count always
 // produces the same client partitioning. Serve-mode checkpoint restore
 // relies on this to route snapshot entries to the shard that owns the
 // client — even when the shard count changed across the restart.
-func shardOfAddr(client netip.Addr, n int) uint32 {
-	b := client.As16()
+func addrHash(a netip.Addr) uint64 {
+	b := a.As16()
 	h := uint64(14695981039346656037)
 	for _, c := range b {
 		h ^= uint64(c)
 		h *= 1099511628211
 	}
-	return uint32(h % uint64(n))
+	return h
+}
+
+// readerSalt decorrelates reader striping from shard routing. Feeding the
+// same digest to both dimensions would make reader ≈ shard whenever their
+// counts match — a diagonal mesh where each dispatcher feeds mostly one
+// shard and load skew compounds instead of spreading. Salting before the
+// mix64 avalanche gives the reader dimension independent high bits with
+// the same determinism. The constant is 2^64/φ.
+const readerSalt = 0x9E3779B97F4A7C15
+
+// shardOfAddr maps a client address onto one of n shards.
+func shardOfAddr(client netip.Addr, n int) uint32 {
+	return fastRange(mix64(addrHash(client)), n)
+}
+
+// readerOfAddr maps a client address onto one of n reader partitions.
+func readerOfAddr(client netip.Addr, n int) uint32 {
+	return fastRange(mix64(addrHash(client)^readerSalt), n)
+}
+
+// readerOfPair is the direction-symmetric fallback stripe for flows with
+// no single client-side endpoint (both or neither address in the client
+// networks): commutative in (a, b), so both directions land together.
+func readerOfPair(a, b netip.Addr, n int) uint32 {
+	return fastRange(mix64((addrHash(a)+addrHash(b))^readerSalt), n)
 }
 
 // shardOf routes a client address onto this dispatcher's shards.
 func (d *dispatcher) shardOf(client netip.Addr) uint32 {
-	return shardOfAddr(client, len(d.workers))
+	return shardOfAddr(client, d.nshards)
 }
 
-// dispatch parses one frame and routes it. Mirrors DNHunter.HandlePacket's
-// branching exactly: parse failures are only counted, UDP port-53 traffic
-// goes to the DNS path, everything else to the flow path.
+// dispatch parses one frame and routes it (the Readers==1 path). Mirrors
+// DNHunter.HandlePacket's branching exactly: parse failures are only
+// counted, UDP port-53 traffic goes to the DNS path, everything else to
+// the flow path.
 //
 //dnhunter:hotpath
-func (d *dispatcher) dispatch(pkt netio.Packet) {
+func (d *dispatcher) dispatch(pkt netio.Packet, blk *netio.Block) {
 	dec, err := d.parser.Parse(pkt.Data)
 	if err != nil {
 		return
@@ -309,7 +548,7 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 			at:   at,
 			kind: entryDNS,
 			key:  flows.Key{ClientIP: dec.DstIP},
-		}, dec.Payload)
+		}, dec.Payload, blk)
 		return
 	}
 	if !dec.HasTCP && !dec.HasUDP {
@@ -327,7 +566,7 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 		c2s:   c2s,
 		tcp:   dec.HasTCP,
 		flags: dec.TCPFlags,
-	}, dec.Payload)
+	}, dec.Payload, blk)
 	// Amortized sweep, after the packet, at the same trace times a
 	// single-threaded table would sweep inside Add.
 	if at-d.sweepMark >= d.idle {
@@ -336,62 +575,129 @@ func (d *dispatcher) dispatch(pkt netio.Packet) {
 	}
 }
 
+// runLoop is a striped dispatcher's goroutine body: drain this partition's
+// ingress ring, then finish and close its mesh row. Under abort it keeps
+// draining — returning every block reference — but stops processing, so
+// the stripe never wedges on a full ingress ring.
+func (d *dispatcher) runLoop(dwg *sync.WaitGroup, in *srcRing, abort *atomic.Bool) {
+	defer dwg.Done()
+	for {
+		s, ok := in.consume()
+		if !ok {
+			break
+		}
+		if !abort.Load() {
+			for i := range s.entries {
+				d.dispatchEntry(&s.entries[i])
+			}
+		}
+		releaseSrcSlotBlocks(s)
+		in.release()
+	}
+	if abort.Load() {
+		for _, r := range d.rings {
+			r.discardFill()
+		}
+	} else {
+		for _, r := range d.rings {
+			r.publish()
+		}
+	}
+	for _, r := range d.rings {
+		r.close()
+	}
+}
+
+// dispatchEntry handles one striped ingress entry: sweep markers expire
+// this partition; packets follow dispatch's branching, with the tracker
+// clock pre-advanced to the stripe's global flow clock so lastSeen stamps
+// match the single-reader pipeline exactly (Route's own monotone-max then
+// no-ops: at ≤ the shipped clock by construction).
+//
+//dnhunter:hotpath
+func (d *dispatcher) dispatchEntry(se *srcEntry) {
+	if se.kind == srcSweep {
+		d.tracker.ExpireIdle(se.at, d.expire)
+		return
+	}
+	dec, err := d.parser.Parse(se.data)
+	if err != nil {
+		return
+	}
+	at := se.at
+	if dec.HasUDP && (dec.SrcPort == 53 || dec.DstPort == 53) {
+		client := dec.SrcIP
+		if len(dec.Payload) >= 3 && dec.Payload[2]&0x80 != 0 {
+			client = dec.DstIP
+		}
+		d.enqueue(int(d.shardOf(client)), shardEntry{
+			at:   at,
+			kind: entryDNS,
+			key:  flows.Key{ClientIP: dec.DstIP},
+		}, dec.Payload, se.blk)
+		return
+	}
+	if !dec.HasTCP && !dec.HasUDP {
+		return
+	}
+	d.tracker.AdvanceClock(se.clock)
+	key, c2s, kh, sh := d.tracker.Route(dec, at, d.assign)
+	d.enqueue(int(sh), shardEntry{
+		at:    at,
+		kind:  entryFlow,
+		key:   key,
+		hash:  kh,
+		c2s:   c2s,
+		tcp:   dec.HasTCP,
+		flags: dec.TCPFlags,
+	}, dec.Payload, se.blk)
+}
+
 // enqueueExpire ships one centrally-computed idle expiry to the owning
 // shard, in-band with its packet stream, hash included so the shard's
 // table probe skips hashKey just like the entryFlow path.
 func (d *dispatcher) enqueueExpire(key flows.Key, hash uint64, shard uint32) {
-	d.enqueue(int(shard), shardEntry{kind: entryExpire, key: key, hash: hash}, nil)
+	d.enqueue(int(shard), shardEntry{kind: entryExpire, key: key, hash: hash}, nil, nil)
 }
 
-// enqueue appends an entry (copying its payload into the slot arena — the
-// parser and block reader beneath it reuse their buffers) to the shard's
-// current ring slot, publishing when the slot fills. In the default
-// (batch) mode, publishing may block on ring wraparound: that is the
+// enqueue appends an entry to the shard's current ring slot, publishing
+// when the slot fills. The payload travels by handle: pay aliases blk's
+// refcounted arena (or stable source storage when blk is nil) and the
+// entry takes one block reference, returned by releaseSlotBlocks when the
+// slot retires — no byte of payload is copied on this path. In the default
+// (batch) mode, acquiring a slot may block on ring wraparound: that is the
 // back-pressure that bounds dispatcher run-ahead. In shed mode the
 // blocking acquire is replaced by trySlot and the entry is dropped (and
-// counted) when the ring is full — a live reader must never stall on a
-// slow shard. Three entry classes are still never shed, because dropping
-// them would corrupt state rather than degrade coverage: expiry commands
-// (auto-sweep is disabled on shard tables, so a dropped expiry leaks the
-// flow entry until drain) and RST/FIN segments (the tracker has already
-// forgotten the flow, so the shard table must see the close too). Both
-// are rare, so the bounded wait they may incur does not stall the reader
-// at packet rate.
-func (d *dispatcher) enqueue(sh int, e shardEntry, payload []byte) {
+// counted per reader per shard) when the ring is full — a live reader must
+// never stall on a slow shard. Two entry classes are still never shed,
+// because dropping them would corrupt state rather than degrade coverage:
+// expiry commands (auto-sweep is disabled on shard tables, so a dropped
+// expiry leaks the flow entry until drain) and RST/FIN segments (the
+// tracker has already forgotten the flow, so the shard table must see the
+// close too). Both are rare, so the bounded wait they may incur does not
+// stall the reader at packet rate.
+func (d *dispatcher) enqueue(sh int, e shardEntry, pay []byte, blk *netio.Block) {
 	r := d.rings[sh]
-	sheddable := d.shed != nil && e.kind != entryExpire &&
-		(!e.tcp || e.flags&(layers.TCPRst|layers.TCPFin) == 0)
-	s, ok := d.acquire(r, sheddable)
-	if !ok {
-		d.shed.drop(sh, e.kind, len(payload))
-		return
-	}
-	if len(payload) > 0 {
-		// Publish before an append that would outgrow the arena, so slot
-		// storage really is allocated once (a single payload larger than
-		// the whole arena still has to grow it — once, kept thereafter).
-		if len(s.buf)+len(payload) > d.bufMax && len(s.entries) > 0 {
-			r.publish()
-			if s, ok = d.acquire(r, sheddable); !ok {
-				d.shed.drop(sh, e.kind, len(payload))
-				return
-			}
+	var s *ringSlot
+	if d.shed != nil && e.kind != entryExpire &&
+		(!e.tcp || e.flags&(layers.TCPRst|layers.TCPFin) == 0) {
+		var ok bool
+		if s, ok = r.trySlot(); !ok {
+			d.shed.drop(d.reader, sh, e.kind, len(pay))
+			return
 		}
-		e.payOff = uint32(len(s.buf))
-		e.payLen = uint32(len(payload))
-		s.buf = append(s.buf, payload...)
+	} else {
+		s = r.slot()
+	}
+	if len(pay) > 0 {
+		e.pay = pay
+		if blk != nil {
+			blk.Retain(1)
+			e.blk = blk
+		}
 	}
 	s.entries = append(s.entries, e)
 	if len(s.entries) >= d.batch {
 		r.publish()
 	}
-}
-
-// acquire obtains the shard's current fill slot: non-blocking (ok=false
-// on a full ring) for sheddable entries, blocking otherwise.
-func (d *dispatcher) acquire(r *spscRing, sheddable bool) (*ringSlot, bool) {
-	if sheddable {
-		return r.trySlot()
-	}
-	return r.slot(), true
 }

@@ -1,0 +1,372 @@
+package core
+
+// The parallel pre-parse fanout (Readers > 1): one stripe goroutine reads
+// blocks and routes each raw frame — via netio.PeekFrame, an exact ~40-byte
+// mirror of the parser's accept/reject rules — onto one of R ingress rings.
+// Each ring feeds a dispatcher goroutine that owns a disjoint client
+// partition: its own layers.Parser, its own flows.Tracker, and its own row
+// of dispatcher→shard mesh rings. The stripe hashes the frame's CLIENT
+// address (not a symmetric flow hash): all of one client's flow packets AND
+// its DNS responses land on the same dispatcher, preserving the per-client
+// DNS-insert-before-flow-lookup ordering that labeling equivalence needs.
+//
+// Partition-ownership invariants (see docs/ARCHITECTURE.md for the full
+// argument):
+//
+//   - Affinity. A 5-tuple always routes to the same reader: the in-nets
+//     test is a static property of each address and the fallback hash is
+//     direction-symmetric, so a flow's packets never split across trackers.
+//   - Clock. The stripe owns the global flow clock (monotone max of
+//     flow-path packet times) and ships it with every entry; dispatchers
+//     pre-advance their tracker (Tracker.AdvanceClock) so lastSeen stamps
+//     equal the single-reader pipeline's under timestamp jitter.
+//   - Sweep. The stripe owns the sweep schedule: at exactly the trace
+//     times the single-reader dispatcher would sweep, it broadcasts an
+//     in-band sweep marker to every ingress ring; each dispatcher then
+//     expires its own partition at that time. Per-partition recency lists
+//     are lastSeen-sorted, so the early-stop walk computes the exact
+//     threshold set and the union over partitions equals the global sweep.
+//   - Frames. Every frame — including ones the peek rejects — is forwarded
+//     to exactly one dispatcher and fully parsed there, so the summed
+//     parser stats match the single-reader pipeline's.
+
+import (
+	"net/netip"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netio"
+)
+
+// srcEntry kinds carried by ingress ring slots.
+const (
+	srcPacket uint8 = iota // one raw frame
+	srcSweep               // sweep marker: expire the partition at time at
+)
+
+// srcEntry is one stripe→dispatcher unit: a raw frame plus the global flow
+// clock at its position in the stream (srcPacket), or an in-band sweep
+// marker (srcSweep). Entries live in recycled slot storage; a *srcEntry
+// must never outlive the batch it was delivered in. data aliases blk's
+// refcounted arena (or stable source storage when blk is nil) and the
+// entry holds one block reference, returned when the slot retires.
+//
+//dnhunter:slab
+type srcEntry struct {
+	at    time.Duration
+	clock time.Duration // global flow clock (max flow-path time seen)
+	data  []byte        // raw Ethernet frame
+	blk   *netio.Block
+	kind  uint8
+	// noShed exempts the entry from ingress shedding (sweep markers are
+	// state, not coverage — dropping one would desynchronize expiry).
+	noShed bool
+}
+
+// srcSlot is one ingress batch in flight.
+type srcSlot struct {
+	entries []srcEntry
+}
+
+// releaseSrcSlotBlocks returns the slot's block references (run-length
+// batched, handles cleared) — the ingress twin of releaseSlotBlocks.
+func releaseSrcSlotBlocks(s *srcSlot) {
+	var run *netio.Block
+	var n int64
+	for i := range s.entries {
+		e := &s.entries[i]
+		b := e.blk
+		e.blk, e.data = nil, nil
+		if b != run {
+			if run != nil {
+				run.Release(n)
+			}
+			run, n = b, 0
+		}
+		n++
+	}
+	if run != nil {
+		run.Release(n)
+	}
+}
+
+// srcRing is the bounded SPSC ingress ring (stripe → one dispatcher). Same
+// protocol as spscRing, over srcEntry slots; each ring has its own
+// consGate because a dispatcher drains exactly one ingress ring.
+//
+//dnhunter:hotatomic
+type srcRing struct {
+	slots []srcSlot
+	mask  uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // slots published; advanced only by the producer
+	_    cacheLinePad
+	tail atomic.Uint64 // slots released; advanced only by the consumer
+	_    cacheLinePad
+
+	closed     atomic.Bool
+	prodParked atomic.Bool
+	prodWake   chan struct{}
+	gate       *consGate
+
+	// parks, when non-nil, counts producer park events (ring full past the
+	// spin budget) — the per-reader ingress backpressure gauge.
+	parks *atomic.Uint64
+
+	acquired bool
+	batch    int
+}
+
+func newSrcRing(depth, batch int) *srcRing {
+	if depth < 2 {
+		depth = 2
+	}
+	size := 1
+	for size < depth {
+		size <<= 1
+	}
+	return &srcRing{
+		slots:    make([]srcSlot, size),
+		mask:     uint64(size - 1),
+		batch:    batch,
+		prodWake: make(chan struct{}, 1),
+		gate:     newConsGate(),
+	}
+}
+
+func (r *srcRing) claim(h uint64) *srcSlot {
+	s := &r.slots[h&r.mask]
+	if s.entries == nil {
+		//dnhunter:alloc-ok one-time lazy slot init; storage is recycled in place forever after
+		s.entries = make([]srcEntry, 0, r.batch)
+	}
+	s.entries = s.entries[:0]
+	r.acquired = true
+	return s
+}
+
+// slot returns the producer's fill slot, blocking on wraparound.
+func (r *srcRing) slot() *srcSlot {
+	h := r.head.Load()
+	if !r.acquired {
+		size := uint64(len(r.slots))
+		for spins := 0; h-r.tail.Load() >= size; {
+			if spins < ringProducerSpins {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			if r.parks != nil {
+				r.parks.Add(1)
+			}
+			r.prodParked.Store(true)
+			if h-r.tail.Load() < size {
+				r.prodParked.Store(false)
+				break
+			}
+			<-r.prodWake
+			r.prodParked.Store(false)
+			spins = 0
+		}
+		return r.claim(h)
+	}
+	return &r.slots[h&r.mask]
+}
+
+// trySlot is slot without the wait; ok=false when the ring is full (the
+// ingress shedding path drops raw frames rather than stall a live reader).
+func (r *srcRing) trySlot() (*srcSlot, bool) {
+	h := r.head.Load()
+	if !r.acquired {
+		if h-r.tail.Load() >= uint64(len(r.slots)) {
+			return nil, false
+		}
+		return r.claim(h), true
+	}
+	return &r.slots[h&r.mask], true
+}
+
+// publish hands the fill slot to the consumer (no-op if empty/unacquired).
+func (r *srcRing) publish() {
+	if !r.acquired {
+		return
+	}
+	if len(r.slots[r.head.Load()&r.mask].entries) == 0 {
+		return
+	}
+	r.acquired = false
+	r.head.Add(1)
+	if r.gate.parked.Load() {
+		select {
+		case r.gate.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// discardFill releases the unpublished fill slot's block refs (abort path).
+func (r *srcRing) discardFill() {
+	if !r.acquired {
+		return
+	}
+	s := &r.slots[r.head.Load()&r.mask]
+	releaseSrcSlotBlocks(s)
+	s.entries = s.entries[:0]
+}
+
+// close marks the stream finished and wakes the consumer.
+func (r *srcRing) close() {
+	r.closed.Store(true)
+	if r.gate.parked.Load() {
+		select {
+		case r.gate.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// consume blocks for the next published slot; ok=false once closed and
+// drained (with the post-close head recheck, as in spscRing).
+func (r *srcRing) consume() (*srcSlot, bool) {
+	t := r.tail.Load()
+	for spins := 0; ; {
+		if r.head.Load() > t {
+			return &r.slots[t&r.mask], true
+		}
+		if r.closed.Load() {
+			if r.head.Load() > t {
+				return &r.slots[t&r.mask], true
+			}
+			return nil, false
+		}
+		if spins < ringConsumerSpins {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		r.gate.parked.Store(true)
+		if r.head.Load() > t || r.closed.Load() {
+			r.gate.parked.Store(false)
+			continue
+		}
+		<-r.gate.wake
+		r.gate.parked.Store(false)
+		spins = 0
+	}
+}
+
+// release returns the consumed slot to the producer.
+func (r *srcRing) release() {
+	r.tail.Add(1)
+	if r.prodParked.Load() {
+		select {
+		case r.prodWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// stripe is the reader-fanout stage state (one goroutine).
+type stripe struct {
+	ingress []*srcRing
+	nets    []netip.Prefix
+	cells   []readerCell
+
+	idle      time.Duration
+	sweepMark time.Duration
+	clock     time.Duration // global flow clock (monotone max)
+	batch     int
+	shed      bool // drop raw frames instead of blocking on a full ring
+}
+
+// inNets reports whether any prefix contains a (flows.containsAddr's rule;
+// addresses come from PeekFrame as AddrFrom4/AddrFrom16, exactly like the
+// parser's, so membership agrees with the trackers' orientation test).
+func inNets(nets []netip.Prefix, a netip.Addr) bool {
+	for _, p := range nets {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// route classifies one raw frame and appends it to its reader's ingress
+// ring, then broadcasts a sweep marker when the frame crossed the sweep
+// schedule — the same "after the triggering packet" order the
+// single-reader dispatcher uses.
+//
+//dnhunter:hotpath
+func (st *stripe) route(pkt netio.Packet, blk *netio.Block) {
+	pk, ok := netio.PeekFrame(pkt.Data)
+	at := pkt.Timestamp
+	nr := len(st.ingress)
+	var r uint32
+	flowPath := false
+	if ok {
+		if pk.UDP && (pk.SrcPort == 53 || pk.DstPort == 53) {
+			// Mirror dispatch's DNS attribution: responses (QR set) belong
+			// to DstIP, everything else spreads by SrcIP.
+			client := pk.Src
+			if pk.DNSResponse {
+				client = pk.Dst
+			}
+			r = readerOfAddr(client, nr)
+		} else {
+			flowPath = true
+			sin, din := inNets(st.nets, pk.Src), inNets(st.nets, pk.Dst)
+			switch {
+			case sin && !din:
+				r = readerOfAddr(pk.Src, nr)
+			case din && !sin:
+				r = readerOfAddr(pk.Dst, nr)
+			default:
+				// Both or neither endpoint monitored: no single client-side
+				// address. A direction-symmetric hash keeps the flow on one
+				// tracker; its ordering against either endpoint's DNS
+				// stream is best-effort (see ARCHITECTURE.md deviations).
+				r = readerOfPair(pk.Src, pk.Dst, nr)
+			}
+			if at > st.clock {
+				st.clock = at
+			}
+		}
+	}
+	st.cells[r].pkts.Add(1)
+	st.append(int(r), srcEntry{at: at, clock: st.clock, data: pkt.Data, blk: blk, kind: srcPacket})
+	if flowPath && at-st.sweepMark >= st.idle {
+		st.sweepMark = at
+		for i := range st.ingress {
+			// Sweep markers are state, not coverage: never shed, in-band
+			// behind the packets they must expire after.
+			st.append(i, srcEntry{at: at, kind: srcSweep, noShed: true})
+		}
+	}
+}
+
+// append adds one entry to reader r's ingress ring, taking a block
+// reference for the frame it carries. In shed mode a full ring drops the
+// frame (counted per reader) instead of stalling the stripe; sweep markers
+// always block.
+func (st *stripe) append(r int, e srcEntry) {
+	ring := st.ingress[r]
+	var s *srcSlot
+	if st.shed && !e.noShed {
+		var ok bool
+		if s, ok = ring.trySlot(); !ok {
+			st.cells[r].shedFrames.Add(1)
+			return
+		}
+	} else {
+		s = ring.slot()
+	}
+	if e.blk != nil {
+		e.blk.Retain(1)
+	}
+	s.entries = append(s.entries, e)
+	if len(s.entries) >= st.batch {
+		ring.publish()
+	}
+}

@@ -1,0 +1,315 @@
+package netio
+
+// Refcounted block arenas: the storage contract behind ReadBlockRef. The
+// classic ReadBlock contract ("Data valid until the next call") forces every
+// pipeline stage that outlives one read to copy the payload — the sharded
+// engine paid that copy twice (reader arena → ring slot arena). A Block
+// instead carries an explicit reference count: the reader fills a pooled
+// block once, every ring entry that aliases it takes a reference, and the
+// block returns to its pool when the last reference retires. Payload bytes
+// then move through the whole dispatch fanout by handle, never by copy.
+//
+// The pool is a plain mutex freelist, deliberately not a sync.Pool: GC
+// cycles would clear a sync.Pool and force 256 KiB block reallocations at
+// packet rate, re-inflating the dispatch bytes/pkt this design exists to
+// eliminate. A bounded freelist keeps steady state allocation-free and lets
+// the retire-latency counters live next to the storage they describe.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultBlockBytes is the pooled block capacity: large enough to hold a
+// full reader block of typical frames (256 packets × ~500 B), small enough
+// that a handful of in-flight blocks per reader stays modest.
+const defaultBlockBytes = 256 * 1024
+
+// defaultPoolBlocks bounds the freelist; blocks beyond it are left to the
+// garbage collector (a transient burst should not pin memory forever).
+const defaultPoolBlocks = 64
+
+// Block is one refcounted frame arena. The producer that obtained it from
+// Get owns one reference and fills buf; every consumer that retains a slice
+// of the block past the producer's next read must take its own reference
+// (Retain) and drop it when done (Release). When the count reaches zero the
+// block returns to its pool and its bytes may be overwritten.
+type Block struct {
+	buf  []byte
+	used int // producer-only fill cursor
+	pool *BlockPool
+	born time.Time // Get time, for retire-latency accounting
+	refs atomic.Int64
+}
+
+// Retain adds n references to the block.
+func (b *Block) Retain(n int64) { b.refs.Add(n) }
+
+// Release drops n references; the final release recycles the block into its
+// pool and records the Get→retire latency.
+func (b *Block) Release(n int64) {
+	if b.refs.Add(-n) == 0 {
+		b.pool.put(b)
+	}
+}
+
+// append copies frame into the block, returning the aliasing slice.
+// ok=false when the frame does not fit the remaining capacity.
+func (b *Block) append(frame []byte) ([]byte, bool) {
+	if b.used+len(frame) > cap(b.buf) {
+		return nil, false
+	}
+	dst := b.buf[b.used : b.used+len(frame)]
+	copy(dst, frame)
+	b.used += len(frame)
+	return dst, true
+}
+
+// BlockPool recycles Blocks through a bounded mutex freelist and accounts
+// their lifecycle (see BlockPoolStats). The zero value is not usable; use
+// NewBlockPool or the package-level DefaultBlockPool.
+type BlockPool struct {
+	size    int
+	maxFree int
+
+	mu   sync.Mutex
+	free []*Block
+
+	gets     atomic.Uint64
+	allocs   atomic.Uint64
+	retired  atomic.Uint64
+	retireNs atomic.Uint64
+}
+
+// NewBlockPool builds a pool of blockBytes-capacity blocks keeping at most
+// maxFree on the freelist; non-positive arguments select the defaults.
+func NewBlockPool(blockBytes, maxFree int) *BlockPool {
+	if blockBytes <= 0 {
+		blockBytes = defaultBlockBytes
+	}
+	if maxFree <= 0 {
+		maxFree = defaultPoolBlocks
+	}
+	return &BlockPool{size: blockBytes, maxFree: maxFree}
+}
+
+// defaultPool backs every reader that does not bring its own pool. Blocks
+// are content-free storage, so sharing it across engines is safe; the
+// counters are process-wide (bench reads them as before/after deltas).
+var defaultPool = NewBlockPool(0, 0)
+
+// DefaultBlockPool returns the shared process-wide pool.
+func DefaultBlockPool() *BlockPool { return defaultPool }
+
+// Get returns a block with one reference held by the caller and capacity
+// for at least minBytes (a pooled block normally; a one-off, never-pooled
+// allocation when minBytes exceeds the pool's block size).
+func (p *BlockPool) Get(minBytes int) *Block {
+	p.gets.Add(1)
+	if minBytes > p.size {
+		// Oversized one-off: recycled by GC, not the freelist (put drops it).
+		p.allocs.Add(1)
+		b := &Block{buf: make([]byte, minBytes), pool: p, born: time.Now()}
+		b.refs.Store(1)
+		return b
+	}
+	p.mu.Lock()
+	var b *Block
+	if n := len(p.free); n > 0 {
+		b = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if b == nil {
+		p.allocs.Add(1)
+		b = &Block{buf: make([]byte, p.size), pool: p}
+	}
+	b.used = 0
+	b.born = time.Now()
+	b.refs.Store(1)
+	return b
+}
+
+// put recycles a fully released block, recording its retire latency.
+func (p *BlockPool) put(b *Block) {
+	p.retired.Add(1)
+	p.retireNs.Add(uint64(time.Since(b.born)))
+	if cap(b.buf) != p.size {
+		return // oversized one-off
+	}
+	p.mu.Lock()
+	if len(p.free) < p.maxFree {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+// BlockPoolStats is a point-in-time copy of a pool's lifecycle counters.
+type BlockPoolStats struct {
+	// Gets counts blocks handed out; Allocs the subset that had to be newly
+	// allocated (freelist miss or oversized frame).
+	Gets, Allocs uint64
+	// Retired counts blocks whose last reference was released; RetireNs sums
+	// their Get→retire latencies (RetireNs/Retired is the mean time payload
+	// handles keep a block pinned).
+	Retired, RetireNs uint64
+}
+
+// Stats returns the pool's counters. Safe concurrently with Get/Release.
+func (p *BlockPool) Stats() BlockPoolStats {
+	return BlockPoolStats{
+		Gets:     p.gets.Load(),
+		Allocs:   p.allocs.Load(),
+		Retired:  p.retired.Load(),
+		RetireNs: p.retireNs.Load(),
+	}
+}
+
+// BlockRefSource is the refcounted bulk extension of PacketSource: one call
+// frames up to len(dst) packets whose Data all alias the returned Block (or
+// storage stable for the source's lifetime, when blk is nil). The caller
+// receives blk holding one reference and must Release it exactly once when
+// done distributing; any consumer that keeps a Data slice beyond that must
+// Retain its own reference first. dst[:n] is valid alongside a non-nil err
+// (io.EOF after the final partial block).
+type BlockRefSource interface {
+	ReadBlockRef(dst []Packet) (n int, blk *Block, err error)
+}
+
+// StableSource marks a PacketSource whose Packet.Data slices stay valid for
+// the source's lifetime (no buffer reuse between reads). RefAdapter skips
+// the copy into pooled blocks for such sources.
+type StableSource interface {
+	DataStable() bool
+}
+
+// RefAdapter turns any PacketSource into a BlockRefSource, picking the
+// cheapest strategy once at construction: direct delegation when the source
+// already implements BlockRefSource, zero-copy block reads when the source
+// declares stable Data (nil blocks), and otherwise a single copy of each
+// frame into a pooled block (the source's reuse contract forbids keeping
+// its buffers).
+type RefAdapter struct {
+	ref    BlockRefSource
+	stable bool
+	bs     BlockSource
+	src    PacketSource
+	pool   *BlockPool
+}
+
+// NewRefAdapter wraps src; a nil pool selects DefaultBlockPool.
+func NewRefAdapter(src PacketSource, pool *BlockPool) *RefAdapter {
+	if pool == nil {
+		pool = defaultPool
+	}
+	a := &RefAdapter{src: src, pool: pool}
+	if rs, ok := src.(BlockRefSource); ok {
+		a.ref = rs
+		return a
+	}
+	if ss, ok := src.(StableSource); ok && ss.DataStable() {
+		a.stable = true
+	}
+	if bs, ok := src.(BlockSource); ok {
+		a.bs = bs
+	}
+	return a
+}
+
+// ReadBlockRef fills dst per the BlockRefSource contract (RefAdapter is
+// itself a BlockRefSource, so wrappers like paced replay sources delegate
+// to an embedded adapter and stay zero-copy end to end).
+func (a *RefAdapter) ReadBlockRef(dst []Packet) (int, *Block, error) {
+	if a.ref != nil {
+		return a.ref.ReadBlockRef(dst)
+	}
+	n, err := a.fetch(dst)
+	if n == 0 || a.stable {
+		return n, nil, err
+	}
+	// Copy every frame once into a single pooled block: total length is
+	// known up front, so one (possibly oversized) block always fits and the
+	// contract's one-block-per-call shape holds.
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(dst[i].Data)
+	}
+	blk := a.pool.Get(total)
+	for i := 0; i < n; i++ {
+		if d, ok := blk.append(dst[i].Data); ok {
+			dst[i].Data = d
+		}
+	}
+	return n, blk, err
+}
+
+// fetch is the plain-block fallback read.
+func (a *RefAdapter) fetch(dst []Packet) (int, error) {
+	if a.bs != nil {
+		return a.bs.ReadBlock(dst)
+	}
+	pkt, err := a.src.Next()
+	if err != nil {
+		return 0, err
+	}
+	dst[0] = pkt
+	return 1, nil
+}
+
+// ReadBlockRef implements BlockRefSource for the pcap Reader: records are
+// framed straight into a pooled block, so downstream handles alias pcap
+// bytes that were copied exactly once (stream buffer → block). A record
+// that would not fit the current block ends the call early (its header is
+// only peeked, never consumed); a single record larger than a whole pooled
+// block gets a dedicated one-off block to itself.
+func (r *Reader) ReadBlockRef(dst []Packet) (int, *Block, error) {
+	if len(dst) == 0 {
+		return 0, nil, nil
+	}
+	blk := defaultPool.Get(0)
+	n := 0
+	for n < len(dst) {
+		if n > 0 {
+			// Peek the next record length before committing to the header
+			// read: a record that will not fit must wait for the next call's
+			// fresh block. Peek errors fall through to readRecordHeader for
+			// uniform error reporting.
+			if hdr, err := r.r.Peek(16); err == nil {
+				if incl := r.order.Uint32(hdr[8:12]); blk.used+int(incl) > cap(blk.buf) {
+					return n, blk, nil
+				}
+			}
+		}
+		ts, incl, err := r.readRecordHeader()
+		if err != nil {
+			if n == 0 {
+				blk.Release(1)
+				return 0, nil, err
+			}
+			return n, blk, err
+		}
+		if blk.used+int(incl) > cap(blk.buf) {
+			// Only reachable at n==0 (the peek bounds later records): one
+			// oversized record gets a dedicated, never-pooled block.
+			blk.Release(1)
+			blk = defaultPool.Get(int(incl))
+		}
+		body := blk.buf[blk.used : blk.used+int(incl)]
+		if _, err := io.ReadFull(r.r, body); err != nil {
+			err = fmt.Errorf("netio: reading record body: %w", err)
+			if n == 0 {
+				blk.Release(1)
+				return 0, nil, err
+			}
+			return n, blk, err
+		}
+		blk.used += int(incl)
+		dst[n] = Packet{Timestamp: ts, Data: body}
+		n++
+	}
+	return n, blk, nil
+}

@@ -292,6 +292,10 @@ func (s *SlicePacketSource) ReadBlock(dst []Packet) (int, error) {
 	return n, nil
 }
 
+// DataStable implements StableSource: packet Data aliases the caller's
+// slice, which is never reused between reads.
+func (s *SlicePacketSource) DataStable() bool { return true }
+
 // Reset rewinds the source to the first packet.
 func (s *SlicePacketSource) Reset() { s.next = 0 }
 
@@ -313,6 +317,10 @@ func (c *ChanPacketSource) Next() (Packet, error) {
 	}
 	return p, nil
 }
+
+// DataStable implements StableSource: the producer owns each packet's Data
+// and must not reuse it after sending (the documented channel contract).
+func (c *ChanPacketSource) DataStable() bool { return true }
 
 // ReadBlock implements BlockSource: one blocking receive, then whatever is
 // already queued, so a fast producer amortizes channel wakeups per block.

@@ -118,23 +118,26 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 
 // sample is one consistent point-in-time reading of every exported value.
 type sample struct {
-	Packets      uint64           `json:"packets"`
-	Bytes        uint64           `json:"bytes"`
-	PktsPerSec   float64          `json:"pkts_per_sec"`
-	TraceClock   float64          `json:"trace_clock_seconds"`
-	Flows        uint64           `json:"flows"`
-	Labeled      uint64           `json:"labeled_flows"`
-	Tags         uint64           `json:"tags"`
-	DNSResponses uint64           `json:"dns_responses"`
-	Dropped      core.ShedShard   `json:"dropped"`
-	DropShards   []core.ShedShard `json:"dropped_per_shard,omitempty"`
-	Windows      uint64           `json:"windows_flushed"`
-	FlushLag     float64          `json:"window_flush_lag_seconds"`
-	RingDepths   []int            `json:"ring_depths,omitempty"`
-	Restored     uint64           `json:"restored_entries"`
-	Draining     bool             `json:"draining"`
-	HeapInuse    uint64           `json:"heap_inuse_bytes"`
-	Uptime       float64          `json:"uptime_seconds"`
+	Packets      uint64            `json:"packets"`
+	Bytes        uint64            `json:"bytes"`
+	PktsPerSec   float64           `json:"pkts_per_sec"`
+	TraceClock   float64           `json:"trace_clock_seconds"`
+	Flows        uint64            `json:"flows"`
+	Labeled      uint64            `json:"labeled_flows"`
+	Tags         uint64            `json:"tags"`
+	DNSResponses uint64            `json:"dns_responses"`
+	Dropped      core.ShedShard    `json:"dropped"`
+	DropShards   []core.ShedShard  `json:"dropped_per_shard,omitempty"`
+	Windows      uint64            `json:"windows_flushed"`
+	FlushLag     float64           `json:"window_flush_lag_seconds"`
+	RingDepths   []int             `json:"ring_depths,omitempty"`
+	Readers      []core.ReaderStat `json:"readers,omitempty"`
+	ArenaRetired uint64            `json:"arena_blocks_retired"`
+	ArenaAvgNs   float64           `json:"arena_block_retire_avg_ns"`
+	Restored     uint64            `json:"restored_entries"`
+	Draining     bool              `json:"draining"`
+	HeapInuse    uint64            `json:"heap_inuse_bytes"`
+	Uptime       float64           `json:"uptime_seconds"`
 }
 
 // snapshot reads the metrics and updates the scrape-to-scrape packet
@@ -158,6 +161,12 @@ func (s *Server) snapshot() sample {
 	uptime := now.Sub(s.started).Seconds()
 	s.mu.Unlock()
 
+	ar := m.ArenaStats()
+	var retireAvg float64
+	if ar.Retired > 0 {
+		retireAvg = float64(ar.RetireNs) / float64(ar.Retired)
+	}
+
 	return sample{
 		Packets:      pkts,
 		Bytes:        m.Bytes(),
@@ -172,6 +181,9 @@ func (s *Server) snapshot() sample {
 		Windows:      m.WindowsFlushed(),
 		FlushLag:     m.WindowFlushLag().Seconds(),
 		RingDepths:   m.RingDepths(),
+		Readers:      m.ReaderStats(),
+		ArenaRetired: ar.Retired,
+		ArenaAvgNs:   retireAvg,
 		Restored:     m.RestoredEntries(),
 		Draining:     m.Draining(),
 		HeapInuse:    ms.HeapInuse,
@@ -277,6 +289,24 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(&b, "dnhunter_ring_depth{shard=\"%d\"} %d\n", i, d)
 		}
 	}
+	if len(sm.Readers) > 0 {
+		readerSeries := func(name, help string, v func(core.ReaderStat) uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for i, rs := range sm.Readers {
+				fmt.Fprintf(&b, "%s{reader=\"%d\"} %d\n", name, i, v(rs))
+			}
+		}
+		readerSeries("dnhunter_reader_pkts_total", "Raw frames routed to each reader partition.",
+			func(rs core.ReaderStat) uint64 { return rs.Pkts })
+		readerSeries("dnhunter_reader_ring_full_parks_total", "Stripe parks on each reader's full ingress ring (dispatcher is the bottleneck).",
+			func(rs core.ReaderStat) uint64 { return rs.RingFullParks })
+		readerSeries("dnhunter_reader_mesh_full_parks_total", "Dispatcher parks on full dispatcher-to-shard rings (a shard is the bottleneck).",
+			func(rs core.ReaderStat) uint64 { return rs.MeshFullParks })
+		readerSeries("dnhunter_reader_shed_frames_total", "Raw frames shed at ingress before any parse.",
+			func(rs core.ReaderStat) uint64 { return rs.ShedFrames })
+	}
+	counter("dnhunter_arena_blocks_retired_total", "Payload arena blocks whose last handle was released.", sm.ArenaRetired)
+	gaugeF("dnhunter_arena_block_retire_ns_avg", "Mean time payload handles keep an arena block pinned, in nanoseconds.", sm.ArenaAvgNs)
 	gaugeU("dnhunter_restored_entries", "Resolver entries restored from the checkpoint.", sm.Restored)
 	draining := uint64(0)
 	if sm.Draining {
