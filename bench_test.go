@@ -17,6 +17,7 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/flows"
 	"repro/internal/resolver"
 	"repro/internal/synth"
@@ -387,6 +388,23 @@ func BenchmarkEngineEU1FTTH(b *testing.B) {
 			b.ReportMetric(pkts, "pkts/op")
 		})
 	}
+	// The same single-shard run behind an unarmed fault-injection wrapper:
+	// with no schedules armed the wrapper must be a pure pass-through, and
+	// CI pins its ns/op within 2% of shards-1 from the same bench run
+	// (benchcheck -overhead).
+	b.Run("shards-1-faults-off", func(b *testing.B) {
+		eng := NewEngine(WithShards(1))
+		ctx := context.Background()
+		b.SetBytes(size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := faults.NewSource(tr.Source(), faults.SourceConfig{})
+			if _, err := eng.run(ctx, src, tr.TruthFunc()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pkts, "pkts/op")
+	})
 }
 
 func traceBytes(tr *Trace) int {

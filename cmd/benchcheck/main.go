@@ -12,6 +12,7 @@
 //	benchcheck -baseline bench_baseline.json -in bench.txt -update
 //	benchcheck -scaling BENCH.json -scaling-tolerance 10
 //	benchcheck -analytics BENCH.json -analytics-tolerance 10
+//	benchcheck -in bench.txt -overhead 'base=probe' -overhead-tolerance 2
 //
 // -scaling switches to the scaling gate: the input is a `cmd/bench` report
 // and every multi-shard cell must reach at least (1 - tolerance%) of the
@@ -27,6 +28,14 @@
 // both an analytics-off and an analytics-on cell, the on cell's ns/pkt
 // must stay within tolerance (default 10%) of the off cell's. The sketch
 // path is bounded-state by design; this pins it to bounded-*time* too.
+//
+// -overhead switches to a same-run pair gate over ordinary `go test
+// -bench` output: given "base=probe" benchmark names, the probe's ns/op
+// minimum must stay within -overhead-tolerance percent (default 2) of the
+// base's. Because both cells come from one process on one machine, the
+// tolerance can be far tighter than the cross-run baseline gates — CI uses
+// it to pin the disabled fault-injection wrapper at ≤2% over the bare
+// engine.
 //
 // -metric selects what to gate: "allocs", "ns", "bytes", or "all" (the
 // default). Allocation counts are deterministic, so their tolerance is
@@ -108,6 +117,9 @@ func main() {
 		"when > 0, additionally require gateable multi-shard cells to reach this speedup over shards=1 (e.g. 1.8)")
 	analytics := flag.String("analytics", "", "cmd/bench JSON report: gate analytics-on vs analytics-off ns/pkt instead")
 	analyticsTol := flag.Float64("analytics-tolerance", 10, "allowed analytics-on ns/pkt overhead in percent")
+	overhead := flag.String("overhead", "",
+		"gate one benchmark against another from the same input instead: \"base=probe\" requires probe ns/op ≤ base × (1 + tolerance)")
+	overheadTol := flag.Float64("overhead-tolerance", 2, "allowed probe ns/op overhead over base in percent")
 	flag.Parse()
 
 	if *scaling != "" {
@@ -118,6 +130,12 @@ func main() {
 	}
 	if *analytics != "" {
 		if err := checkAnalytics(*analytics, *analyticsTol); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *overhead != "" {
+		if err := checkOverhead(*in, *overhead, *overheadTol); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -441,6 +459,50 @@ func checkAnalytics(path string, tol float64) error {
 	if failed {
 		os.Exit(1)
 	}
+	return nil
+}
+
+// checkOverhead enforces a same-run relative gate between two benchmarks
+// of one `go test -bench` output: the probe's ns/op minimum must stay
+// within tol percent of the base's. Comparing two cells measured by the
+// same process on the same machine sidesteps the run-to-run wall-clock
+// noise that forces the absolute baseline gate's wide tolerance — which
+// is what lets the disabled-fault-injection wrapper be pinned at ≤2%
+// overhead over the bare engine.
+func checkOverhead(inPath, spec string, tol float64) error {
+	base, probe, ok := strings.Cut(spec, "=")
+	if !ok || base == "" || probe == "" {
+		return fmt.Errorf("bad -overhead %q (want \"base=probe\" benchmark names)", spec)
+	}
+	r := os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	observed, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	b, ok := observed[base]
+	if !ok || !b.hasNs {
+		return fmt.Errorf("base benchmark %q missing from input (or no ns/op)", base)
+	}
+	p, ok := observed[probe]
+	if !ok || !p.hasNs {
+		return fmt.Errorf("probe benchmark %q missing from input (or no ns/op)", probe)
+	}
+	pct := 100 * (p.ns/b.ns - 1)
+	if p.ns > b.ns*(1+tol/100) {
+		log.Printf("FAIL %s: %+.2f%% ns/op over %s (%.0f vs %.0f), tolerance %g%%",
+			probe, pct, base, p.ns, b.ns, tol)
+		os.Exit(1)
+	}
+	log.Printf("ok   %s: %+.2f%% ns/op over %s (%.0f vs %.0f, tolerance %g%%)",
+		probe, pct, base, p.ns, b.ns, tol)
 	return nil
 }
 

@@ -46,6 +46,9 @@ func runServe(args []string) {
 	clist := fs.Int("clist", 1<<20, "resolver Clist size L (per shard)")
 	history := fs.Int("history", 0, "multi-label history per (client,server) key")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after a stop signal")
+	srcRestarts := fs.Int("source-restarts", 0, "supervise the source: restart up to N times on transient read errors (0 disables supervision)")
+	srcBackoff := fs.Duration("source-backoff", 50*time.Millisecond, "first restart's nominal backoff, doubling per consecutive restart")
+	srcBackoffMax := fs.Duration("source-backoff-max", 5*time.Second, "backoff ceiling for supervised restarts")
 	fs.Parse(args)
 
 	if (*pcapPath == "") == (*scenario == "") {
@@ -96,6 +99,14 @@ func runServe(args []string) {
 		Shed:           *shed,
 		CheckpointPath: *checkpoint,
 		DrainTimeout:   *drainTimeout,
+	}
+	if *srcRestarts > 0 {
+		scfg.Restart = &dnhunter.RestartPolicy{
+			MaxRestarts: *srcRestarts,
+			BaseBackoff: *srcBackoff,
+			MaxBackoff:  *srcBackoffMax,
+			Seed:        *seed,
+		}
 	}
 	if dir := *spool; dir != "" {
 		scfg.FlushWindow = func(w dnhunter.Window) error {
@@ -157,7 +168,14 @@ func runServe(args []string) {
 		fmt.Printf("shed: %d flow entries, %d dns entries, %d bytes\n",
 			rep.Dropped.Flows, rep.Dropped.DNS, rep.Dropped.Bytes)
 	}
+	if rep.SourceRestarts > 0 {
+		fmt.Printf("degraded: source restarted %d times (transient errors recovered)\n",
+			rep.SourceRestarts)
+	}
 	if *checkpoint != "" {
+		if rep.FreshStart != "" {
+			fmt.Printf("checkpoint: rejected (%s); started fresh\n", rep.FreshStart)
+		}
 		fmt.Printf("checkpoint: restored %d entries, wrote %d to %s\n",
 			rep.RestoredEntries, rep.CheckpointedEntries, *checkpoint)
 	}

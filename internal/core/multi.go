@@ -56,12 +56,18 @@ type MultiResult struct {
 	// Vantages lists the source names in registration order.
 	Vantages []string
 	// PerVantage holds each vantage's own labeled-flow database and stats.
+	// Failed vantages have no entry; consult Errors for them.
 	PerVantage map[string]*Result
-	// DB is the merged database: every vantage's flows, each stamped with
-	// its vantage label, merged in registration order (deterministic for a
-	// fixed source list).
+	// Errors records each failed vantage's error by name: one vantage
+	// point going dark degrades the run to the surviving vantages instead
+	// of killing it (the paper's four capture points fail independently).
+	// Empty on a fully successful run.
+	Errors map[string]error
+	// DB is the merged database: every surviving vantage's flows, each
+	// stamped with its vantage label, merged in registration order
+	// (deterministic for a fixed source list).
 	DB *flowdb.DB
-	// Stats aggregates the per-vantage counters.
+	// Stats aggregates the surviving vantages' counters.
 	Stats Stats
 }
 
@@ -197,6 +203,14 @@ func (p *pacedSource) ReadBlockRef(dst []netio.Packet) (int, *netio.Block, error
 // vantages (calls are serialized; events carry the vantage name) and closed
 // exactly once, on success, error, and cancellation alike. See MergeWindow
 // for the virtual-clock coupling between sources.
+//
+// Vantage failures are isolated: a failing source does not cancel its
+// siblings. When some (but not all) vantages fail, RunSources returns a
+// partial MultiResult — surviving vantages merged as usual, failures
+// recorded in MultiResult.Errors — alongside a non-nil error joining
+// every vantage error (errors.Join; errors.Is matches each underlying
+// cause). Only caller cancellation aborts the whole run, returning
+// (nil, ctx.Err()).
 func (e *Engine) RunSources(ctx context.Context, sources []NamedSource) (*MultiResult, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: RunSources: no sources")
@@ -222,10 +236,7 @@ func (e *Engine) RunSources(ctx context.Context, sources []NamedSource) (*MultiR
 			err = fmt.Errorf("core: closing sink: %w", cerr)
 		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return res, err
 }
 
 func (e *Engine) runSources(ctx context.Context, sources []NamedSource) (*MultiResult, error) {
@@ -236,8 +247,10 @@ func (e *Engine) runSources(ctx context.Context, sources []NamedSource) (*MultiR
 	clock := newVClock(len(sources), window)
 	pace := len(sources) > 1 && window > 0
 
-	// One cancellation scope for the whole run: a failing vantage aborts
-	// the others, and ctx cancellation additionally unblocks clock waiters.
+	// One cancellation scope for the whole run. Only the caller's ctx
+	// cancels it: a failing vantage merely finishes its clock slot (so
+	// survivors never stall on it) and records its error — failure
+	// isolation, not fate sharing.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	stopWatch := make(chan struct{})
@@ -283,47 +296,40 @@ func (e *Engine) runSources(ctx context.Context, sources []NamedSource) (*MultiR
 			}
 			if out.err != nil {
 				out.err = fmt.Errorf("vantage %q: %w", s.Name, out.err)
-				cancel()
 			}
 			outs[i] = out
 		}(i, s)
 	}
 	wg.Wait()
 
-	// Prefer a real pipeline failure over the context error it provoked in
-	// the other vantages; fall back to the caller's cancellation.
-	var firstErr error
-	for _, out := range outs {
-		if out.err != nil && !errors.Is(out.err, context.Canceled) && !errors.Is(out.err, context.DeadlineExceeded) {
-			firstErr = out.err
-			break
-		}
-	}
-	if firstErr == nil {
-		if err := ctx.Err(); err != nil {
-			firstErr = err
-		} else {
-			for _, out := range outs {
-				if out.err != nil {
-					firstErr = out.err
-					break
-				}
-			}
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	// Caller cancellation aborts the whole run; every vantage error is
+	// then just collateral of the shared cancellation, so report only the
+	// context error and no partial result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
-	mr := &MultiResult{PerVantage: make(map[string]*Result, len(sources))}
-	dbs := make([]*flowdb.DB, len(sources))
+	// Build the partial (possibly complete) result: survivors merge as
+	// usual, failures are recorded per vantage and joined into one error
+	// so no failure hides behind another.
+	mr := &MultiResult{
+		PerVantage: make(map[string]*Result, len(sources)),
+		Errors:     make(map[string]error),
+	}
+	var errs []error
+	var dbs []*flowdb.DB
 	for i, s := range sources {
 		mr.Vantages = append(mr.Vantages, s.Name)
+		if out := outs[i]; out.err != nil {
+			mr.Errors[s.Name] = out.err
+			errs = append(errs, out.err)
+			continue
+		}
 		mr.PerVantage[s.Name] = outs[i].res
 		mr.Stats.Add(outs[i].res.Stats)
-		dbs[i] = outs[i].res.DB
+		dbs = append(dbs, outs[i].res.DB)
 	}
 	mr.DB = flowdb.New()
 	mr.DB.Merge(dbs...)
-	return mr, nil
+	return mr, errors.Join(errs...)
 }

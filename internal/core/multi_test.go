@@ -263,7 +263,7 @@ func TestRunSourcesCancel(t *testing.T) {
 func TestRunSourcesSourceError(t *testing.T) {
 	tr := synth.Generate(synth.QuickScenario(37))
 	srcErr := errors.New("capture ring overrun")
-	_, err := NewEngine(EngineConfig{}).RunSources(context.Background(), []NamedSource{
+	res, err := NewEngine(EngineConfig{}).RunSources(context.Background(), []NamedSource{
 		{Name: "ok", Src: tr.Source()},
 		{Name: "bad", Src: &failingSource{pkts: tr.Packets[:50], err: srcErr}},
 	})
@@ -272,6 +272,56 @@ func TestRunSourcesSourceError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), `"bad"`) {
 		t.Errorf("error does not name the failing vantage: %v", err)
+	}
+	// Failure isolation: the healthy vantage's full result survives.
+	if res == nil {
+		t.Fatal("no partial MultiResult alongside the vantage error")
+	}
+	if !errors.Is(res.Errors["bad"], srcErr) {
+		t.Errorf("Errors[bad] = %v, want the source error", res.Errors["bad"])
+	}
+	if _, dead := res.PerVantage["bad"]; dead {
+		t.Error("failed vantage present in PerVantage")
+	}
+	solo, serr := NewEngine(EngineConfig{}).RunSources(context.Background(), []NamedSource{
+		{Name: "ok", Src: tr.Source()},
+	})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if got, want := res.PerVantage["ok"].Stats, solo.PerVantage["ok"].Stats; got != want {
+		t.Errorf("surviving vantage stats diverge from a solo run:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := res.DB.Len(), solo.DB.Len(); got != want {
+		t.Errorf("partial merged DB has %d flows, solo run has %d", got, want)
+	}
+	if res.Stats != solo.Stats {
+		t.Errorf("partial aggregate stats include the dead vantage: %+v vs %+v", res.Stats, solo.Stats)
+	}
+}
+
+// TestRunSourcesAggregatesAllErrors: every failed vantage is reported —
+// errors.Join exposes each cause, none hides behind the first.
+func TestRunSourcesAggregatesAllErrors(t *testing.T) {
+	tr := synth.Generate(synth.QuickScenario(41))
+	errA := errors.New("fiber cut at A")
+	errB := errors.New("disk full at B")
+	res, err := NewEngine(EngineConfig{}).RunSources(context.Background(), []NamedSource{
+		{Name: "A", Src: &failingSource{pkts: tr.Packets[:20], err: errA}},
+		{Name: "ok", Src: tr.Source()},
+		{Name: "B", Src: &failingSource{pkts: tr.Packets[:40], err: errB}},
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error misses a vantage failure: %v", err)
+	}
+	if len(res.Errors) != 2 || !errors.Is(res.Errors["A"], errA) || !errors.Is(res.Errors["B"], errB) {
+		t.Errorf("Errors map = %v", res.Errors)
+	}
+	if len(res.PerVantage) != 1 || res.PerVantage["ok"] == nil {
+		t.Errorf("PerVantage = %v, want only the survivor", res.PerVantage)
+	}
+	if got := res.Vantages; len(got) != 3 {
+		t.Errorf("Vantages = %v, want all three names in order", got)
 	}
 }
 

@@ -172,6 +172,16 @@ type ServeMetrics struct {
 	restored     atomic.Uint64
 	draining     atomic.Bool
 
+	// Fault surface (see supervisor.go and loadCheckpoint): classified
+	// source-error counters, restart accounting, checkpoint fresh starts,
+	// and the degraded flag /healthz reports.
+	faultTransient atomic.Uint64
+	faultFatal     atomic.Uint64
+	restarts       atomic.Uint64
+	restartBudget  atomic.Int64 // total budget; 0 = supervision off
+	freshStarts    atomic.Uint64
+	degraded       atomic.Bool
+
 	// Shed holds the per-shard overload drop counters.
 	Shed ShedStats
 
@@ -207,6 +217,38 @@ func (m *ServeMetrics) RestoredEntries() uint64 { return m.restored.Load() }
 // Draining reports whether the serve context was cancelled and the engine
 // is flushing its final state.
 func (m *ServeMetrics) Draining() bool { return m.draining.Load() }
+
+// Degraded reports whether the engine is serving in a degraded state: the
+// source needed at least one supervised restart, or the checkpoint was
+// rejected and serving began from a counted fresh start. Degraded is
+// sticky for the run — it marks "results may have gaps", which a later
+// recovery does not un-happen.
+func (m *ServeMetrics) Degraded() bool { return m.degraded.Load() }
+
+// SourceErrors returns the supervised source's classified error counters:
+// transient (recovered by restart) and fatal (ended the run).
+func (m *ServeMetrics) SourceErrors() (transient, fatal uint64) {
+	return m.faultTransient.Load(), m.faultFatal.Load()
+}
+
+// SourceRestarts returns completed supervised source restarts.
+func (m *ServeMetrics) SourceRestarts() uint64 { return m.restarts.Load() }
+
+// RestartBudget returns the restart error budget: the policy's total
+// (zero when supervision is off) and how much of it remains.
+func (m *ServeMetrics) RestartBudget() (total, remaining int64) {
+	total = m.restartBudget.Load()
+	remaining = total - int64(m.restarts.Load())
+	if remaining < 0 {
+		remaining = 0
+	}
+	return total, remaining
+}
+
+// CheckpointFreshStarts counts checkpoint files rejected at startup
+// (corrupt, truncated, or future-version), each answered by serving from
+// empty resolver state instead of failing.
+func (m *ServeMetrics) CheckpointFreshStarts() uint64 { return m.freshStarts.Load() }
 
 // WindowsFlushed returns completed flowdb windows handed to FlushWindow.
 func (m *ServeMetrics) WindowsFlushed() uint64 {
@@ -295,6 +337,12 @@ type ServeConfig struct {
 	// past it the engine is hard-cancelled and pending state is dropped
 	// (no checkpoint is written). Zero means 30 seconds.
 	DrainTimeout time.Duration
+	// Restart, when non-nil, supervises the packet source: read errors
+	// are classified transient or fatal, and transient ones restart the
+	// source under exponential backoff with deterministic jitter, bounded
+	// by an error budget. nil propagates the first source error, as a
+	// batch Run would.
+	Restart *RestartPolicy
 }
 
 // ServeReport is the outcome of one graceful Serve.
@@ -311,6 +359,14 @@ type ServeReport struct {
 	// RestoredEntries is the resolver state loaded from the checkpoint at
 	// startup; CheckpointedEntries is the state written at drain.
 	RestoredEntries, CheckpointedEntries int
+	// SourceRestarts counts supervised source restarts during the run
+	// (transient errors the RestartPolicy recovered from).
+	SourceRestarts uint64
+	// FreshStart, when non-empty, records why the configured checkpoint
+	// was rejected at startup: the run served from empty resolver state
+	// rather than failing. Empty when the checkpoint loaded (or none was
+	// configured).
+	FreshStart string
 }
 
 // drainGrace is how long Serve waits after the hard-cancel before
@@ -321,11 +377,12 @@ const drainGrace = 100 * time.Millisecond
 // NewServer, inspect it live through Metrics, and run it with Serve. A
 // Server handles one Serve call at a time.
 type Server struct {
-	cfg      EngineConfig
-	scfg     ServeConfig
-	metrics  ServeMetrics
-	pipes    []*DNHunter
-	restored []resolver.SnapshotEntry
+	cfg        EngineConfig
+	scfg       ServeConfig
+	metrics    ServeMetrics
+	pipes      []*DNHunter
+	restored   []resolver.SnapshotEntry
+	freshStart string // why the checkpoint was rejected; "" = loaded fine
 }
 
 // NewServer assembles a streaming server around an engine configuration.
@@ -365,7 +422,20 @@ func (s *Server) Serve(ctx context.Context, src netio.PacketSource) (*ServeRepor
 	cfg.tapReaders = func(cs []readerCell) { s.metrics.readers.Store(&cs) }
 	cfg.Sink = &serveSink{inner: cfg.Sink, m: &s.metrics, win: win}
 
+	// Supervision sits under the drain wrapper: the drain signal must
+	// keep winning (stop means EOF now, not after a backoff), so the
+	// supervisor shares the drainSource's stop flag and aborts any
+	// in-progress recovery when it flips.
+	var sup *supervisedSource
+	if s.scfg.Restart != nil {
+		sup = newSupervisedSource(src, *s.scfg.Restart, &s.metrics)
+		s.metrics.restartBudget.Store(int64(sup.pol.MaxRestarts))
+		src = sup
+	}
 	ds := &drainSource{src: src, fetch: newBlockFetcher(src), ref: netio.NewRefAdapter(src, nil), m: &s.metrics}
+	if sup != nil {
+		sup.stop = &ds.stop
+	}
 
 	// The inner context is NOT derived from ctx: cancellation must drain,
 	// not abort. The engine runs on its own goroutine so Serve can turn
@@ -429,6 +499,8 @@ func (s *Server) Serve(ctx context.Context, src netio.PacketSource) (*ServeRepor
 		Windows:         win.WindowsFlushed(),
 		Dropped:         s.metrics.Shed.Totals(),
 		RestoredEntries: len(s.restored),
+		SourceRestarts:  s.metrics.SourceRestarts(),
+		FreshStart:      s.freshStart,
 	}
 	if s.scfg.CheckpointPath != "" {
 		snap := s.snapshotPipelines()
@@ -440,10 +512,17 @@ func (s *Server) Serve(ctx context.Context, src netio.PacketSource) (*ServeRepor
 	return rep, nil
 }
 
-// loadCheckpoint reads the configured checkpoint file; a missing file is
-// a fresh start, not an error.
+// loadCheckpoint reads the configured checkpoint file. A missing file is
+// a fresh start, not an error; so is an invalid one — a checkpoint that
+// fails validation (corrupt, truncated, not a snapshot, or written by a
+// newer version) must not brick the service that would rewrite it on the
+// next clean drain. Rejections are counted (CheckpointFreshStarts), mark
+// the run degraded, and surface in ServeReport.FreshStart. Only an I/O
+// error on an existing file still fails startup: the file may be fine
+// and silently ignoring it would discard real state.
 func (s *Server) loadCheckpoint() error {
 	s.restored = nil
+	s.freshStart = ""
 	if s.scfg.CheckpointPath == "" {
 		return nil
 	}
@@ -457,6 +536,14 @@ func (s *Server) loadCheckpoint() error {
 	defer f.Close()
 	entries, err := resolver.ReadSnapshot(f)
 	if err != nil {
+		if errors.Is(err, resolver.ErrBadSnapshot) ||
+			errors.Is(err, resolver.ErrSnapshotCorrupt) ||
+			errors.Is(err, resolver.ErrSnapshotVersion) {
+			s.freshStart = err.Error()
+			s.metrics.freshStarts.Add(1)
+			s.metrics.degraded.Store(true)
+			return nil
+		}
 		return fmt.Errorf("core: reading checkpoint %s: %w", s.scfg.CheckpointPath, err)
 	}
 	s.restored = entries

@@ -1,0 +1,58 @@
+package faults
+
+import "os"
+
+// Checkpoint-file corruption: the restore path's fault surface is a file
+// that was half-written, bit-rotted, or produced by a future release.
+// These helpers transform byte images deterministically (seeded where a
+// choice exists) so a corrupting chaos run replays exactly.
+
+// FlipBit returns a copy of data with one bit flipped, chosen
+// deterministically from seed. Empty input is returned as an empty copy.
+func FlipBit(data []byte, seed uint64) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	bit := splitmix64(seed) % uint64(len(out)*8)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// FlipBitAt returns a copy of data with bit `bit` (byte-major,
+// LSB-first) flipped — for tests that must corrupt a known region, e.g.
+// a checkpoint body rather than its magic.
+func FlipBitAt(data []byte, bit int) []byte {
+	out := append([]byte(nil), data...)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// TruncateTail returns a copy of data with n trailing bytes removed — a
+// write that died before its fsync. n past len(data) yields an empty
+// slice.
+func TruncateTail(data []byte, n int) []byte {
+	if n >= len(data) {
+		return []byte{}
+	}
+	return append([]byte(nil), data[:len(data)-n]...)
+}
+
+// SetByte returns a copy of data with data[off] replaced by v — e.g.
+// forging a checkpoint's version byte to rehearse a downgrade.
+func SetByte(data []byte, off int, v byte) []byte {
+	out := append([]byte(nil), data...)
+	out[off] = v
+	return out
+}
+
+// CorruptFile rewrites path with transform applied to its current bytes.
+// The write is direct (no temp-and-rename): corruption does not deserve
+// the atomicity the real checkpoint writer guarantees.
+func CorruptFile(path string, transform func([]byte) []byte) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, transform(data), 0o644)
+}

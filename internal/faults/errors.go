@@ -1,0 +1,28 @@
+package faults
+
+import "errors"
+
+// transientErr marks an error as transient: core.DefaultClassify (and any
+// classifier honoring the convention) treats a source that returned it as
+// restartable rather than dead.
+type transientErr struct{ err error }
+
+func (e transientErr) Error() string   { return e.err.Error() }
+func (e transientErr) Unwrap() error   { return e.err }
+func (e transientErr) Transient() bool { return true }
+
+// Transient wraps err so it reports Transient() == true through any
+// errors.As walk — the marker the serve-mode source supervisor's default
+// classifier keys restarts on. errors.Is against the wrapped error still
+// holds.
+func Transient(err error) error { return transientErr{err: err} }
+
+// ErrInjected is the default error a firing SourceConfig.Err schedule
+// returns. It is transient, so a supervised source recovers from it by
+// restarting; set SourceConfig.ErrValue to a non-transient error to
+// rehearse fatal classification instead.
+var ErrInjected = Transient(errors.New("faults: injected read error"))
+
+// ErrSinkInjected is the default error a firing SinkConfig.Err schedule
+// arms; the wrapped sink's Close returns it.
+var ErrSinkInjected = Transient(errors.New("faults: injected sink error"))

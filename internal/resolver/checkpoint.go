@@ -20,20 +20,35 @@ package resolver
 // The wire format is a small versioned binary framing (netip.Addr does
 // not survive encoding/gob): addresses are length-prefixed
 // netip.Addr.MarshalBinary output, strings are uvarint-length-prefixed
-// UTF-8, integers are fixed-width little-endian.
+// UTF-8, integers are fixed-width little-endian. Version 2 appends an
+// integrity trailer — a redundant version byte plus a CRC32 (IEEE,
+// little-endian) over everything before it — so a truncated or bit-rotted
+// file is rejected with ErrSnapshotCorrupt instead of being half-restored,
+// and a file written by a newer release is rejected with
+// ErrSnapshotVersion instead of being misparsed. Version-1 files (no
+// trailer) are still read.
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/netip"
 	"time"
 )
 
-// snapshotMagic identifies (and versions) the checkpoint framing.
-const snapshotMagic = "DNHCLIST\x01"
+// snapshotMagicPrefix identifies the checkpoint framing; the byte after
+// it is the format version.
+const snapshotMagicPrefix = "DNHCLIST"
+
+// snapshotVersion is the format WriteSnapshot emits.
+const snapshotVersion = 2
+
+// snapshotTrailerLen is the v2 trailer: version byte + CRC32.
+const snapshotTrailerLen = 5
 
 // snapshotMaxEntry bounds per-entry variable-length fields when reading,
 // so a corrupt or hostile file cannot provoke huge allocations.
@@ -130,10 +145,15 @@ func (r *Resolver) Restore(entries []SnapshotEntry) {
 	}
 }
 
-// WriteSnapshot serializes entries to w in the versioned binary framing.
+// WriteSnapshot serializes entries to w in the versioned binary framing
+// (version 2: CRC32 + version trailer; see the package notes).
 func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.WriteString(snapshotMagicPrefix); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
 		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -192,23 +212,76 @@ func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
 			}
 		}
 	}
-	return bw.Flush()
+	// Trailer: a redundant version byte under the CRC, then the CRC over
+	// everything before it (magic, body, version byte).
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
 }
 
-// ErrBadSnapshot reports a checkpoint stream that is not a (supported)
-// resolver snapshot.
+// ErrBadSnapshot reports a checkpoint stream that is not a resolver
+// snapshot at all (wrong or missing magic).
 var ErrBadSnapshot = errors.New("resolver: not a clist snapshot")
 
-// ReadSnapshot parses a stream written by WriteSnapshot.
+// ErrSnapshotCorrupt reports a recognized snapshot that fails integrity
+// validation: CRC mismatch, missing trailer, or an inconsistent trailer
+// version byte — truncation and bit rot land here.
+var ErrSnapshotCorrupt = errors.New("resolver: clist snapshot corrupt")
+
+// ErrSnapshotVersion reports a snapshot written by a newer format version
+// than this code understands.
+var ErrSnapshotVersion = errors.New("resolver: clist snapshot from a newer version")
+
+// ReadSnapshot parses a stream written by WriteSnapshot. It reads the
+// stream fully before parsing (checkpoints are bounded by the Clist size)
+// so the version-2 CRC32 trailer validates every byte the parser will
+// see; version-1 streams (no trailer) are still accepted. Failures map to
+// ErrBadSnapshot (not a snapshot), ErrSnapshotCorrupt (integrity), or
+// ErrSnapshotVersion (future format).
 func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic)
+	if len(data) < len(snapshotMagicPrefix)+1 || string(data[:len(snapshotMagicPrefix)]) != snapshotMagicPrefix {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
+	body := data[len(snapshotMagicPrefix)+1:]
+	switch ver := data[len(snapshotMagicPrefix)]; {
+	case ver == 1:
+		// Legacy trailer-less framing: parse as written.
+	case ver == snapshotVersion:
+		if len(body) < snapshotTrailerLen {
+			return nil, fmt.Errorf("%w: missing trailer", ErrSnapshotCorrupt)
+		}
+		want := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if got := crc32.ChecksumIEEE(data[:len(data)-4]); got != want {
+			return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrSnapshotCorrupt, got, want)
+		}
+		if tv := data[len(data)-snapshotTrailerLen]; tv != snapshotVersion {
+			return nil, fmt.Errorf("%w: trailer version %d", ErrSnapshotCorrupt, tv)
+		}
+		body = body[:len(body)-snapshotTrailerLen]
+	default:
+		return nil, fmt.Errorf("%w: version %d (this build reads <= %d)", ErrSnapshotVersion, ver, snapshotVersion)
+	}
+	entries, err := readSnapshotBody(bufio.NewReader(bytes.NewReader(body)))
+	if err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// readSnapshotBody parses the entry framing shared by every format
+// version (everything between the magic and the optional trailer).
+func readSnapshotBody(br *bufio.Reader) ([]SnapshotEntry, error) {
 	readAddr := func() (netip.Addr, error) {
 		n, err := br.ReadByte()
 		if err != nil {

@@ -161,3 +161,71 @@ func TestReadSnapshotRejectsGarbage(t *testing.T) {
 		t.Fatal("truncated snapshot accepted")
 	}
 }
+
+// ckSnapshotBytes serializes a small snapshot for the corruption tests.
+func ckSnapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := WriteSnapshot(&buf, []SnapshotEntry{
+		{Client: ckClient(1), Servers: []netip.Addr{ckServer(1)}, FQDN: "a.example.com", At: time.Second},
+		{Client: ckClient(2), Servers: []netip.Addr{ckServer(2)}, FQDN: "b.example.com", At: 2 * time.Second, Used: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRejectsTruncation: any tail loss — even a single byte —
+// fails the CRC with the corrupt sentinel, never a partial restore.
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	data := ckSnapshotBytes(t)
+	for _, cut := range []int{1, 4, 5, len(data) / 2} {
+		if _, err := ReadSnapshot(bytes.NewReader(data[:len(data)-cut])); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("cut %d bytes: got %v, want ErrSnapshotCorrupt", cut, err)
+		}
+	}
+}
+
+// TestSnapshotRejectsBitFlips: a flipped bit anywhere in the body or
+// trailer is caught by the checksum.
+func TestSnapshotRejectsBitFlips(t *testing.T) {
+	data := ckSnapshotBytes(t)
+	// Flip one bit in every byte past the magic+version header (flips in
+	// the magic prefix yield ErrBadSnapshot, and a version-byte flip
+	// ErrSnapshotVersion — both still rejected, tested elsewhere).
+	for off := len(snapshotMagicPrefix) + 1; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 1 << (off % 8)
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("flip at byte %d: got %v, want ErrSnapshotCorrupt", off, err)
+		}
+	}
+}
+
+// TestSnapshotRejectsFutureVersion: a file stamped by a newer release is
+// refused with the version sentinel, not misparsed.
+func TestSnapshotRejectsFutureVersion(t *testing.T) {
+	data := ckSnapshotBytes(t)
+	mut := append([]byte(nil), data...)
+	mut[len(snapshotMagicPrefix)] = snapshotVersion + 1
+	if _, err := ReadSnapshot(bytes.NewReader(mut)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+// TestSnapshotReadsLegacyV1: a trailer-less version-1 file (what earlier
+// releases wrote) still restores.
+func TestSnapshotReadsLegacyV1(t *testing.T) {
+	data := ckSnapshotBytes(t)
+	// v2 layout: magic(8) | ver(1) | body | trailer ver(1) | crc(4).
+	body := data[len(snapshotMagicPrefix)+1 : len(data)-snapshotTrailerLen]
+	v1 := append([]byte(snapshotMagicPrefix+"\x01"), body...)
+	got, err := ReadSnapshot(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("legacy v1 snapshot rejected: %v", err)
+	}
+	if len(got) != 2 || got[0].FQDN != "a.example.com" || !got[1].Used {
+		t.Fatalf("legacy v1 entries mangled: %+v", got)
+	}
+}

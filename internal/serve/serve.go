@@ -6,7 +6,9 @@
 //
 // Endpoints:
 //
-//	GET /healthz         200 "ok" while serving, 503 "draining" during drain
+//	GET /healthz         200 "ok" while serving, 200 "degraded" while serving
+//	                     after source restarts or a checkpoint fresh start,
+//	                     503 "draining" during drain
 //	GET /metrics         Prometheus text exposition (see OPERATIONS.md)
 //	GET /stats.json      the same numbers as one JSON object
 //	GET /analytics.json  live analytics-pipeline snapshot (when configured)
@@ -108,36 +110,51 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	// Draining wins: the pod is going away, stop routing to it. Degraded
+	// still answers 200 — the engine is serving, just with gaps (source
+	// restarts, checkpoint fresh start) — so orchestrators keep it while
+	// operators alert on the body or on dnhunter_degraded.
 	if s.cfg.Metrics.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Metrics.Degraded() {
+		fmt.Fprintln(w, "degraded")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
 // sample is one consistent point-in-time reading of every exported value.
 type sample struct {
-	Packets      uint64            `json:"packets"`
-	Bytes        uint64            `json:"bytes"`
-	PktsPerSec   float64           `json:"pkts_per_sec"`
-	TraceClock   float64           `json:"trace_clock_seconds"`
-	Flows        uint64            `json:"flows"`
-	Labeled      uint64            `json:"labeled_flows"`
-	Tags         uint64            `json:"tags"`
-	DNSResponses uint64            `json:"dns_responses"`
-	Dropped      core.ShedShard    `json:"dropped"`
-	DropShards   []core.ShedShard  `json:"dropped_per_shard,omitempty"`
-	Windows      uint64            `json:"windows_flushed"`
-	FlushLag     float64           `json:"window_flush_lag_seconds"`
-	RingDepths   []int             `json:"ring_depths,omitempty"`
-	Readers      []core.ReaderStat `json:"readers,omitempty"`
-	ArenaRetired uint64            `json:"arena_blocks_retired"`
-	ArenaAvgNs   float64           `json:"arena_block_retire_avg_ns"`
-	Restored     uint64            `json:"restored_entries"`
-	Draining     bool              `json:"draining"`
-	HeapInuse    uint64            `json:"heap_inuse_bytes"`
-	Uptime       float64           `json:"uptime_seconds"`
+	Packets         uint64            `json:"packets"`
+	Bytes           uint64            `json:"bytes"`
+	PktsPerSec      float64           `json:"pkts_per_sec"`
+	TraceClock      float64           `json:"trace_clock_seconds"`
+	Flows           uint64            `json:"flows"`
+	Labeled         uint64            `json:"labeled_flows"`
+	Tags            uint64            `json:"tags"`
+	DNSResponses    uint64            `json:"dns_responses"`
+	Dropped         core.ShedShard    `json:"dropped"`
+	DropShards      []core.ShedShard  `json:"dropped_per_shard,omitempty"`
+	Windows         uint64            `json:"windows_flushed"`
+	FlushLag        float64           `json:"window_flush_lag_seconds"`
+	RingDepths      []int             `json:"ring_depths,omitempty"`
+	Readers         []core.ReaderStat `json:"readers,omitempty"`
+	ArenaRetired    uint64            `json:"arena_blocks_retired"`
+	ArenaAvgNs      float64           `json:"arena_block_retire_avg_ns"`
+	Restored        uint64            `json:"restored_entries"`
+	Draining        bool              `json:"draining"`
+	Degraded        bool              `json:"degraded"`
+	FaultsTransient uint64            `json:"fault_source_errors_transient"`
+	FaultsFatal     uint64            `json:"fault_source_errors_fatal"`
+	SourceRestarts  uint64            `json:"fault_source_restarts"`
+	FreshStarts     uint64            `json:"fault_checkpoint_fresh_starts"`
+	BudgetTotal     int64             `json:"fault_error_budget_total"`
+	BudgetRemaining int64             `json:"fault_error_budget_remaining"`
+	HeapInuse       uint64            `json:"heap_inuse_bytes"`
+	Uptime          float64           `json:"uptime_seconds"`
 }
 
 // snapshot reads the metrics and updates the scrape-to-scrape packet
@@ -166,28 +183,37 @@ func (s *Server) snapshot() sample {
 	if ar.Retired > 0 {
 		retireAvg = float64(ar.RetireNs) / float64(ar.Retired)
 	}
+	ftr, ffa := m.SourceErrors()
+	btot, brem := m.RestartBudget()
 
 	return sample{
-		Packets:      pkts,
-		Bytes:        m.Bytes(),
-		PktsPerSec:   rate,
-		TraceClock:   m.TraceClock().Seconds(),
-		Flows:        m.Flows(),
-		Labeled:      m.LabeledFlows(),
-		Tags:         m.Tags(),
-		DNSResponses: m.DNSResponses(),
-		Dropped:      m.Shed.Totals(),
-		DropShards:   m.Shed.PerShard(),
-		Windows:      m.WindowsFlushed(),
-		FlushLag:     m.WindowFlushLag().Seconds(),
-		RingDepths:   m.RingDepths(),
-		Readers:      m.ReaderStats(),
-		ArenaRetired: ar.Retired,
-		ArenaAvgNs:   retireAvg,
-		Restored:     m.RestoredEntries(),
-		Draining:     m.Draining(),
-		HeapInuse:    ms.HeapInuse,
-		Uptime:       uptime,
+		Packets:         pkts,
+		Bytes:           m.Bytes(),
+		PktsPerSec:      rate,
+		TraceClock:      m.TraceClock().Seconds(),
+		Flows:           m.Flows(),
+		Labeled:         m.LabeledFlows(),
+		Tags:            m.Tags(),
+		DNSResponses:    m.DNSResponses(),
+		Dropped:         m.Shed.Totals(),
+		DropShards:      m.Shed.PerShard(),
+		Windows:         m.WindowsFlushed(),
+		FlushLag:        m.WindowFlushLag().Seconds(),
+		RingDepths:      m.RingDepths(),
+		Readers:         m.ReaderStats(),
+		ArenaRetired:    ar.Retired,
+		ArenaAvgNs:      retireAvg,
+		Restored:        m.RestoredEntries(),
+		Draining:        m.Draining(),
+		Degraded:        m.Degraded(),
+		FaultsTransient: ftr,
+		FaultsFatal:     ffa,
+		SourceRestarts:  m.SourceRestarts(),
+		FreshStarts:     m.CheckpointFreshStarts(),
+		BudgetTotal:     btot,
+		BudgetRemaining: brem,
+		HeapInuse:       ms.HeapInuse,
+		Uptime:          uptime,
 	}
 }
 
@@ -308,6 +334,18 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	counter("dnhunter_arena_blocks_retired_total", "Payload arena blocks whose last handle was released.", sm.ArenaRetired)
 	gaugeF("dnhunter_arena_block_retire_ns_avg", "Mean time payload handles keep an arena block pinned, in nanoseconds.", sm.ArenaAvgNs)
 	gaugeU("dnhunter_restored_entries", "Resolver entries restored from the checkpoint.", sm.Restored)
+	fmt.Fprintf(&b, "# HELP dnhunter_fault_source_errors_total Source read errors by supervisor classification.\n# TYPE dnhunter_fault_source_errors_total counter\n")
+	fmt.Fprintf(&b, "dnhunter_fault_source_errors_total{class=\"transient\"} %d\n", sm.FaultsTransient)
+	fmt.Fprintf(&b, "dnhunter_fault_source_errors_total{class=\"fatal\"} %d\n", sm.FaultsFatal)
+	counter("dnhunter_fault_source_restarts_total", "Supervised source restarts (transient errors recovered from).", sm.SourceRestarts)
+	counter("dnhunter_fault_checkpoint_fresh_starts_total", "Checkpoint files rejected at startup, answered by a fresh start.", sm.FreshStarts)
+	gaugeF("dnhunter_fault_error_budget_total", "Restart error budget configured by the policy (0 = supervision off).", float64(sm.BudgetTotal))
+	gaugeF("dnhunter_fault_error_budget_remaining", "Restarts left before transient source errors become fatal.", float64(sm.BudgetRemaining))
+	degraded := uint64(0)
+	if sm.Degraded {
+		degraded = 1
+	}
+	gaugeU("dnhunter_degraded", "1 after source restarts or a checkpoint fresh start (sticky for the run).", degraded)
 	draining := uint64(0)
 	if sm.Draining {
 		draining = 1

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -83,6 +85,71 @@ func TestStatsJSON(t *testing.T) {
 	}
 	if sm.Windows == 0 {
 		t.Fatal("no windows flushed in snapshot")
+	}
+}
+
+// degradedMetrics produces a ServeMetrics from a run that rejected a
+// corrupt checkpoint — the simplest real path into the degraded state.
+func degradedMetrics(t *testing.T) *core.ServeMetrics {
+	t.Helper()
+	tr := synth.Generate(synth.QuickScenario(9))
+	path := filepath.Join(t.TempDir(), "clist.ckpt")
+	if err := os.WriteFile(path, []byte("DNHCLIST\x02 not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.EngineConfig{}, core.ServeConfig{Window: 10 * time.Minute, CheckpointPath: path})
+	if _, err := srv.Serve(context.Background(), tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	return srv.Metrics()
+}
+
+func TestHealthzDegraded(t *testing.T) {
+	s := New(Config{Metrics: degradedMetrics(t)})
+	code, body := get(t, s.Handler(), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded healthz: %d %q (must stay 200 — degraded, not dead)", code, body)
+	}
+}
+
+func TestMetricsFaultExposition(t *testing.T) {
+	// A healthy run exposes every fault counter, all zero.
+	s := New(Config{Metrics: runMetrics(t)})
+	_, body := get(t, s.Handler(), "/metrics")
+	for _, want := range []string{
+		`dnhunter_fault_source_errors_total{class="transient"} 0`,
+		`dnhunter_fault_source_errors_total{class="fatal"} 0`,
+		"dnhunter_fault_source_restarts_total 0",
+		"dnhunter_fault_checkpoint_fresh_starts_total 0",
+		"dnhunter_fault_error_budget_total 0",
+		"dnhunter_degraded 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("healthy exposition missing %q in:\n%s", want, body)
+		}
+	}
+	// A fresh-started run flips the degraded gauge and counts the reject.
+	s = New(Config{Metrics: degradedMetrics(t)})
+	_, body = get(t, s.Handler(), "/metrics")
+	for _, want := range []string{
+		"dnhunter_fault_checkpoint_fresh_starts_total 1",
+		"dnhunter_degraded 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("degraded exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatsJSONDegraded(t *testing.T) {
+	s := New(Config{Metrics: degradedMetrics(t)})
+	_, body := get(t, s.Handler(), "/stats.json")
+	var sm sample
+	if err := json.Unmarshal([]byte(body), &sm); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if !sm.Degraded || sm.FreshStarts != 1 {
+		t.Fatalf("degraded snapshot: %+v", sm)
 	}
 }
 

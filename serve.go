@@ -27,6 +27,10 @@ type (
 	Server = core.Server
 	// ShedShard is one shard's overload drop counters.
 	ShedShard = core.ShedShard
+	// RestartPolicy configures serve-mode source supervision
+	// (ServeConfig.Restart): transient-vs-fatal classification, the restart
+	// error budget, and seeded exponential backoff.
+	RestartPolicy = core.RestartPolicy
 	// Window is one completed flow-store partition handed to
 	// ServeConfig.FlushWindow; its DB is valid only during the call.
 	Window = flowdb.Window
@@ -48,6 +52,10 @@ func NewLoopSource(packets []Packet, period time.Duration, passes int) *LoopSour
 func NewPacedSource(src PacketSource, speedup float64) *PacedSource {
 	return netio.NewPacedSource(src, speedup)
 }
+
+// DefaultClassify is the default transient-vs-fatal error split used by
+// RestartPolicy when Classify is nil; see core.DefaultClassify.
+func DefaultClassify(err error) bool { return core.DefaultClassify(err) }
 
 // Server builds a streaming server around this engine's configuration.
 // Use it when the caller needs the live Metrics view (e.g. to mount the
